@@ -1,0 +1,16 @@
+"""Ablation: sensor capture resolution vs. memoization opportunity."""
+
+from repro.analysis.ablation_quantization import run_quantization_ablation
+
+
+def test_ablation_quantization(once):
+    result = once(run_quantization_ablation, duration_s=60.0)
+    print("\n=== Ablation: event quantization (AB Evolution) ===")
+    print(result.to_text())
+    repeats = [point.repeat_fraction for point in result.points]
+    keys = [point.distinct_keys for point in result.points]
+    # Coarser capture -> fewer distinct keys -> more repeats...
+    assert keys == sorted(keys, reverse=True)
+    assert repeats == sorted(repeats)
+    # ...but also more ambiguity (different outputs behind one key).
+    assert result.points[-1].ambiguous_fraction >= result.points[0].ambiguous_fraction

@@ -1,0 +1,72 @@
+"""Extension bench: federated table building (paper Sec. VII-C).
+
+The paper flags its backend cost (~2 days of Xeon time per 2 minutes of
+trace) and proposes federated learning. This bench quantifies the
+implemented direction: devices upload per-key statistics instead of raw
+events, the cloud merges without any replay, and a brand-new user is
+served by the fleet table immediately.
+"""
+
+from repro.core.config import SnipConfig
+from repro.core.federated import federate
+from repro.core.profiler import CloudProfiler
+from repro.core.runtime import SnipRuntime
+from repro.games.registry import GAME_CONTENT_SEED, create_game
+from repro.soc.soc import snapdragon_821
+from repro.users.population import Population
+from repro.users.sessions import run_baseline_session
+from repro.users.tracegen import generate_events
+
+GAME = "candy_crush"
+DEVICES = 4
+SESSION_S = 30.0
+
+
+def test_extension_federated_fleet(once):
+    def run():
+        config = SnipConfig()
+        package = CloudProfiler(config).build_package_from_sessions(
+            GAME, seeds=[1], duration_s=SESSION_S
+        )
+        population = Population(seed=11)
+        per_device = {
+            device_id: [
+                population.user_trace(GAME, device_id, session, SESSION_S)
+                for session in range(2)
+            ]
+            for device_id in range(DEVICES)
+        }
+        fleet_table, uplink = federate(
+            GAME, per_device, package.selection, config
+        )
+        soc = snapdragon_821()
+        runtime = SnipRuntime(
+            soc, create_game(GAME, seed=GAME_CONTENT_SEED), fleet_table, config
+        )
+        clock = 0.0
+        for event in generate_events(GAME, seed=123, duration_s=SESSION_S):
+            if event.timestamp > clock:
+                soc.advance_time(event.timestamp - clock)
+                clock = event.timestamp
+            runtime.deliver(event)
+        soc.advance_time(max(0.0, SESSION_S - clock))
+        baseline = run_baseline_session(GAME, seed=123, duration_s=SESSION_S)
+        savings = 1 - soc.meter.total_joules / baseline.report.total_joules
+        return {
+            "entries": fleet_table.entry_count,
+            "uplink_bytes": uplink,
+            "new_user_hit_rate": runtime.stats.hit_rate,
+            "new_user_savings": savings,
+            "centralized_backend_seconds": package.backend_seconds,
+        }
+
+    result = once(run)
+    print("\n=== Extension: federated fleet (candy_crush) ===")
+    for key, value in result.items():
+        print(f"{key}: {value}")
+    # A fresh user is served by collective experience out of the box...
+    assert result["new_user_hit_rate"] > 0.5
+    assert result["new_user_savings"] > 0.15
+    # ...while the cloud does no emulation at all (vs days centrally).
+    assert result["centralized_backend_seconds"] > 3600
+    assert result["entries"] > 0

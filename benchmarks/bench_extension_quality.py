@@ -1,0 +1,81 @@
+"""Extension bench: the runtime quality-control loop (Sec. VII-B).
+
+Drives one healthy and one deliberately poisoned SNIP runtime under the
+quality controller and shows the safety valves working: the healthy
+table keeps its savings, the poisoned one is caught by audits, cleared,
+and eventually disabled rather than corrupting the game.
+"""
+
+from repro.core.config import SnipConfig
+from repro.core.profiler import CloudProfiler
+from repro.core.quality import QualityController
+from repro.core.runtime import SnipRuntime
+from repro.core.table import TableEntry
+from repro.games.base import FieldWrite, OutputCategory
+from repro.games.registry import GAME_CONTENT_SEED, create_game
+from repro.soc.soc import snapdragon_821
+from repro.users.tracegen import generate_events
+
+GAME = "ab_evolution"
+DURATION = 30.0
+
+
+def _drive(controller):
+    soc = controller.runtime.soc
+    clock = 0.0
+    for event in generate_events(GAME, 7, DURATION):
+        if event.timestamp > clock:
+            soc.advance_time(event.timestamp - clock)
+            clock = event.timestamp
+        controller.deliver(event)
+
+
+def _poison(table):
+    for event_type in list(table._entries):
+        for key, entry in list(table._entries[event_type].items()):
+            bad = tuple(
+                FieldWrite(w.name, w.category, ("junk", w.value), w.nbytes, True)
+                for w in entry.writes
+            ) or (FieldWrite("hist:junk", OutputCategory.HISTORY, 0, 4, True),)
+            table.install_entry(
+                event_type, key, TableEntry(bad, entry.avg_cycles, 1.0)
+            )
+    return table
+
+
+def test_extension_quality_control(once):
+    def run():
+        config = SnipConfig()
+        package = CloudProfiler(config).build_package_from_sessions(
+            GAME, seeds=[1, 2], duration_s=30.0
+        )
+        healthy = QualityController(
+            SnipRuntime(snapdragon_821(), create_game(GAME, GAME_CONTENT_SEED),
+                        package.table.clone(), config),
+            audit_rate=0.3, clear_threshold=0.25,
+        )
+        _drive(healthy)
+        poisoned = QualityController(
+            SnipRuntime(snapdragon_821(), create_game(GAME, GAME_CONTENT_SEED),
+                        _poison(package.table.clone()),
+                        SnipConfig(online_warmup=0)),
+            audit_rate=0.5, window=20, clear_threshold=0.2, max_clears=1,
+        )
+        _drive(poisoned)
+        return healthy.report(), poisoned.report()
+
+    healthy, poisoned = once(run)
+    print("\n=== Extension: quality control (AB Evolution) ===")
+    print(f"healthy : audits={healthy.audited_hits} "
+          f"err={healthy.rolling_error:.1%} clears={healthy.clears} "
+          f"enabled={healthy.snip_enabled}")
+    print(f"poisoned: audits={poisoned.audited_hits} "
+          f"errors={poisoned.audit_errors} clears={poisoned.clears} "
+          f"enabled={poisoned.snip_enabled}")
+    # The healthy runtime survives (an early transient may trigger at
+    # most a precautionary clear; online learning refills the table).
+    assert healthy.snip_enabled
+    assert healthy.rolling_error < 0.25
+    # The poisoned runtime is caught immediately.
+    assert poisoned.audit_errors > 0
+    assert poisoned.clears >= 1 or not poisoned.snip_enabled

@@ -1,0 +1,44 @@
+"""Fig. 11 bench: the headline evaluation across all seven games.
+
+This is the heavyweight bench — it profiles every game, builds its SNIP
+package, and runs five schemes per game.
+"""
+
+from repro.analysis.fig11_energy_benefits import run_fig11
+
+
+def test_fig11_energy_benefits(once):
+    result = once(run_fig11, duration_s=60.0)
+    print("\n=== Fig. 11: energy benefits / coverage / overheads ===")
+    print(result.to_text())
+    print(f"\naverage snip savings: {result.average_savings('snip'):.1%}"
+          f" (paper: ~32%)")
+    print(f"average snip coverage: {result.average_coverage('snip'):.1%}"
+          f" (paper: ~52%)")
+    print(f"average extra battery: {result.average_extra_battery_hours:+.1f} h"
+          f" (paper: ~+1.6 h)")
+    for item in result.comparisons:
+        # SNIP lands in the paper's 24-37% band (we allow slack).
+        assert 0.15 < item.savings("snip") < 0.45, item.game_name
+        # Partial schemes stay in single digits to low teens.
+        assert item.savings("max_cpu") < 0.16, item.game_name
+        assert item.savings("max_ip") < 0.16, item.game_name
+        assert item.savings("snip") > item.savings("max_cpu")
+        assert item.savings("snip") > item.savings("max_ip")
+        # Coverage in the paper's 40-61% neighbourhood.
+        assert 0.30 < item.coverage("snip") < 0.75, item.game_name
+        # Lookup overheads stay small (paper avg ~3%).
+        assert item.snip_overhead_fraction < 0.08, item.game_name
+    assert 0.20 < result.average_savings("snip") < 0.40
+    assert 0.40 < result.average_coverage("snip") < 0.65
+    assert result.average_extra_battery_hours > 0.5
+    by_game = result.by_game()
+    # Race Kings sits at the bottom of the coverage ranking (paper: it
+    # is the minimum at 40%; in our reproduction Chase Whisply's live
+    # camera path contests it, so we assert bottom-two).
+    ranked = sorted(result.comparisons, key=lambda item: item.coverage("snip"))
+    assert "race_kings" in {item.game_name for item in ranked[:2]}
+    # Candy Crush's idle shimmer makes it the most coverable (paper: 61%).
+    assert by_game["candy_crush"].coverage("snip") == max(
+        item.coverage("snip") for item in result.comparisons
+    )

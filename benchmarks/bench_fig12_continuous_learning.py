@@ -1,0 +1,19 @@
+"""Fig. 12 bench: continuous learning recovers from a bad profile."""
+
+from repro.analysis.fig12_continuous_learning import run_fig12
+
+
+def test_fig12_continuous_learning(once):
+    result = once(
+        run_fig12,
+        game_name="ab_evolution",
+        epochs=6,
+        session_duration_s=20.0,
+        initial_events=60,
+        ramp=2.2,
+    )
+    print("\n=== Fig. 12: continuous learning (AB Evolution) ===")
+    print(result.to_text())
+    assert result.initial_error > 0.05   # starved profile misfires
+    assert result.final_error < 0.01     # paper: < 0.1% eventually
+    assert result.final_error < result.initial_error

@@ -1,0 +1,14 @@
+"""Fig. 2 bench: per-component energy breakdown across the seven games."""
+
+from repro.analysis.fig2_energy_breakdown import run_fig2
+
+
+def test_fig2_energy_breakdown(once):
+    result = once(run_fig2, duration_s=60.0)
+    print("\n=== Fig. 2: normalized energy breakdown ===")
+    print(result.to_text())
+    # Paper shape: sensors+memory < ~10%; CPU and IPs split the rest.
+    for item in result.breakdowns:
+        assert item.sensors_plus_memory < 0.12
+        assert 0.30 < item.cpu < 0.65
+        assert 0.30 < item.ip < 0.65

@@ -1,0 +1,15 @@
+"""Fig. 3 bench: battery drain from idle (~20 h) down to 3D games (~3 h)."""
+
+from repro.analysis.fig3_battery_drain import run_fig3
+
+
+def test_fig3_battery_drain(once):
+    result = once(run_fig3, duration_s=60.0)
+    print("\n=== Fig. 3: battery drain ===")
+    print(result.to_text())
+    assert 15.0 < result.idle_hours < 25.0
+    hours = [row.battery_hours for row in result.rows]
+    assert hours == sorted(hours, reverse=True)  # complexity ordering
+    assert 7.0 < result.by_game()["colorphun"].battery_hours < 11.0
+    assert 2.5 < result.by_game()["race_kings"].battery_hours < 4.5
+    assert result.drain_speedup_vs_idle > 4.0  # paper: ~6x faster

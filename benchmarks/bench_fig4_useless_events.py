@@ -1,0 +1,13 @@
+"""Fig. 4 bench: 17-43% of user events are useless; energy is wasted."""
+
+from repro.analysis.fig4_useless_events import run_fig4
+
+
+def test_fig4_useless_events(once):
+    result = once(run_fig4, duration_s=60.0)
+    print("\n=== Fig. 4: useless user events ===")
+    print(result.to_text())
+    for row in result.rows:
+        assert 0.10 < row.useless_fraction < 0.50
+        assert row.wasted_energy_fraction > 0.0
+    assert result.max_useless_game == "ab_evolution"  # the catapult case

@@ -1,0 +1,16 @@
+"""Fig. 6 bench: the naive lookup table's size-vs-coverage explosion."""
+
+from repro.analysis.fig6_table_size import run_fig6
+
+
+def test_fig6_naive_table_size(once):
+    result = once(run_fig6, duration_s=120.0)
+    print("\n=== Fig. 6: naive lookup table size vs coverage ===")
+    print(result.to_text())
+    # Megabytes of table buy only single-digit coverage...
+    assert result.final_bytes > 10_000_000
+    assert result.final_coverage < 0.10
+    # ...and at the paper's trace volume the table blows through the
+    # phone's 4 GB memory almost immediately.
+    crossing = result.exceeds_memory_at()
+    assert crossing is not None and crossing < 0.05

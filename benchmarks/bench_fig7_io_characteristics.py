@@ -1,0 +1,16 @@
+"""Fig. 7 bench: input/output size characteristics by category."""
+
+from repro.analysis.fig7_io_characteristics import run_fig7
+
+
+def test_fig7_io_characteristics(once):
+    result = once(run_fig7, duration_s=120.0)
+    print("\n=== Fig. 7: I/O characteristics (AB Evolution) ===")
+    print(result.to_text())
+    inputs = result.inputs
+    assert inputs["in_event"].occurrence_fraction > 0.95   # ubiquitous
+    assert inputs["in_event"].max_bytes <= 640             # 2-640 B
+    assert inputs["in_history"].max_bytes > 50 * inputs["in_history"].min_bytes
+    assert inputs["in_extern"].occurrence_fraction < 0.01  # rare
+    assert inputs["in_extern"].max_bytes >= 1_000_000      # ~1 MB
+    assert result.outputs["out_temp"].max_bytes <= 150     # small tiles

@@ -1,0 +1,13 @@
+"""Fig. 8 bench: the In.Event-only table is small but fatally wrong."""
+
+from repro.analysis.fig8_event_only import run_fig8
+
+
+def test_fig8_event_only_table(once):
+    result = once(run_fig8, duration_s=120.0)
+    print("\n=== Fig. 8: In.Event-only lookup table (AB Evolution) ===")
+    print(result.to_text())
+    assert result.size_ratio < 0.05                 # tiny vs naive
+    assert 0.05 < result.stats.coverage < 0.60      # real coverage...
+    assert result.stats.erroneous_fraction > 0.02   # ...but erroneous
+    assert result.state_error_share > 0.5           # and fatally so

@@ -1,0 +1,15 @@
+"""Fig. 9 bench: PFI trims the input record to a sliver of bytes."""
+
+from repro.analysis.fig9_pfi_trimming import run_fig9
+from repro.games.base import InputCategory
+
+
+def test_fig9_pfi_trimming(once):
+    result = once(run_fig9, seeds=(1, 2), duration_s=45.0)
+    print("\n=== Fig. 9: PFI trimming walk (AB Evolution) ===")
+    print(result.to_text())
+    assert result.points[0].error < 1e-9          # full record: exact
+    assert result.necessary_fraction < 0.02       # paper: ~0.2%
+    assert result.necessary_bytes < 4096          # paper: ~1.2 kB
+    assert result.points[-1].error > 0.25         # cliff past necessary
+    assert result.necessary_category_bytes[InputCategory.EVENT] > 0

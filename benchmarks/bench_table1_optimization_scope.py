@@ -1,0 +1,13 @@
+"""Table I bench: what each scheme family can reach at all."""
+
+from repro.analysis.table1_optimization_scope import run_table1
+
+
+def test_table1_optimization_scope(once):
+    result = once(run_table1, duration_s=30.0)
+    print("\n=== Table I: optimization scope (AB Evolution) ===")
+    print(result.to_text())
+    # Each partial family reaches only a sliver of the handler energy.
+    assert result.cpu_func_energy_fraction < 0.30
+    assert result.ip_call_energy_fraction < 0.30
+    assert result.whole_chain_fraction == 1.0

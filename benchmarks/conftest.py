@@ -1,0 +1,23 @@
+"""Benchmark harness conventions.
+
+Every benchmark regenerates one paper table/figure via its
+:mod:`repro.analysis` driver, prints the same rows/series the paper
+reports (run with ``-s`` to see them), and sanity-checks the paper's
+qualitative shape. Drivers run once per benchmark
+(``benchmark.pedantic(rounds=1)``): the measured quantity is the cost of
+regenerating the experiment, not a microbenchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a driver exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

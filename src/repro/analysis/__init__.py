@@ -1,0 +1,11 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Each driver exposes a ``run_*`` function returning a structured result
+object with a ``to_text()`` rendering; the benchmark harness calls these
+and prints the same rows/series the paper reports. See DESIGN.md's
+experiment index for the mapping.
+"""
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,106 @@
+"""Ablation: sensor quantization vs. memoization opportunity.
+
+DESIGN.md calls out table keying (exact match on quantised sensor
+values) as a design choice. Event fields are captured at the sensor's
+resolution; coarser capture makes In.Event records repeat more (more
+memoization opportunity, Sec. IV-B) at the cost of input fidelity. This
+driver sweeps a *virtual* re-quantisation factor over a replayed profile
+and reports how the In.Event-only table's coverage and error respond —
+the quantitative backdrop for the resolutions the event schemas pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.report import pct, render_table
+from repro.android.emulator import Emulator, ProfileRecord
+from repro.android.events import EventType
+from repro.games.registry import GAME_CONTENT_SEED, create_game
+from repro.users.tracegen import generate_trace
+
+
+def _requantise(value, factor: int):
+    """Coarsen one already-quantised field value by ``factor``."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return (value // factor) * factor
+    if isinstance(value, float):
+        return round(value / factor) * factor
+    return value
+
+
+@dataclass(frozen=True)
+class QuantizationPoint:
+    """Event-key statistics at one re-quantisation factor."""
+
+    factor: int
+    distinct_keys: int
+    repeat_fraction: float   # events whose coarse key was seen before
+    ambiguous_fraction: float  # repeats whose outputs disagree
+
+
+@dataclass
+class QuantizationAblation:
+    """The sweep over coarsening factors."""
+
+    game_name: str
+    points: List[QuantizationPoint]
+
+    def to_text(self) -> str:
+        """Render the sweep."""
+        rows = [
+            [point.factor, point.distinct_keys,
+             pct(point.repeat_fraction), pct(point.ambiguous_fraction)]
+            for point in self.points
+        ]
+        return render_table(
+            ["coarsening", "distinct keys", "repeat events", "ambiguous"],
+            rows,
+        )
+
+
+def run_quantization_ablation(
+    game_name: str = "ab_evolution",
+    seed: int = 1,
+    duration_s: float = 60.0,
+    factors: Sequence[int] = (1, 2, 4, 8),
+) -> QuantizationAblation:
+    """Sweep coarsening factors over one profile's user events."""
+    trace = generate_trace(game_name, seed=seed, duration_s=duration_s)
+    records: List[ProfileRecord] = Emulator(verify=False).replay(
+        create_game(game_name, seed=GAME_CONTENT_SEED), trace
+    )
+    user_records = [
+        record for record in records
+        if record.event_type is not EventType.FRAME_TICK
+    ]
+    points = []
+    for factor in factors:
+        seen: Dict[Tuple, set] = {}
+        repeats = 0
+        ambiguous = 0
+        for record in user_records:
+            key = (record.event_type,) + tuple(
+                _requantise(value, factor) for _, value in record.event_values
+            )
+            signature = record.trace.output_class()
+            if key in seen:
+                repeats += 1
+                if signature not in seen[key]:
+                    ambiguous += 1
+                seen[key].add(signature)
+            else:
+                seen[key] = {signature}
+        total = len(user_records)
+        points.append(
+            QuantizationPoint(
+                factor=factor,
+                distinct_keys=len(seen),
+                repeat_fraction=repeats / total if total else 0.0,
+                ambiguous_fraction=ambiguous / total if total else 0.0,
+            )
+        )
+    return QuantizationAblation(game_name=game_name, points=points)

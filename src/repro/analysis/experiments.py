@@ -1,0 +1,63 @@
+"""Experiment registry: one entry per paper figure/table.
+
+``run_experiment("fig4")`` executes the driver with its default
+parameters and returns the structured result; every result renders with
+``to_text()``. The registry is what DESIGN.md's per-experiment index
+points at.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.analysis.fig2_energy_breakdown import run_fig2
+from repro.analysis.fig3_battery_drain import run_fig3
+from repro.analysis.fig4_useless_events import run_fig4
+from repro.analysis.fig6_table_size import run_fig6
+from repro.analysis.fig7_io_characteristics import run_fig7
+from repro.analysis.fig8_event_only import run_fig8
+from repro.analysis.fig9_pfi_trimming import run_fig9
+from repro.analysis.fig11_energy_benefits import run_fig11
+from repro.analysis.fig12_continuous_learning import run_fig12
+from repro.analysis.table1_optimization_scope import run_table1
+
+#: Experiment id -> zero-argument driver with paper-default parameters.
+#: ``fig*``/``table1`` regenerate the paper's evaluation; the extra ids
+#: are this repo's ablations and extensions.
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "table1": run_table1,
+}
+
+
+def _register_extensions() -> None:
+    from repro.analysis.ablation_quantization import run_quantization_ablation
+    from repro.analysis.component_savings import run_component_savings
+    from repro.analysis.summary import run_summary
+
+    EXPERIMENTS["summary"] = run_summary
+    EXPERIMENTS["components"] = run_component_savings
+    EXPERIMENTS["quantization"] = run_quantization_ablation
+
+
+_register_extensions()
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run one experiment by id with optional parameter overrides."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+    return driver(**kwargs)

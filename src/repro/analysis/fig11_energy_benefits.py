@@ -1,0 +1,155 @@
+"""Fig. 11: energy benefits, coverage and overheads of every scheme.
+
+Paper findings: Max CPU saves 0.5-13% and Max IP 0.7-9% (each blind to
+the other's half of the SoC), while SNIP saves 24-37% (avg ~32%, or
++1.6 h of battery) by short-circuiting 40-61% of execution (avg ~52%);
+SNIP's lookup overheads average ~3% of energy, Memory Game paying the
+most because of its wide per-event comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import pct, render_table
+from repro.core.config import SnipConfig
+from repro.schemes import (
+    BaselineScheme,
+    MaxCpuScheme,
+    MaxIpScheme,
+    NoOverheadsScheme,
+    SnipScheme,
+    run_scheme_session,
+)
+from repro.schemes.base import SchemeRun
+
+SCHEME_ORDER = ("max_cpu", "max_ip", "snip", "no_overheads")
+
+
+@dataclass(frozen=True)
+class GameComparison:
+    """All scheme runs for one game, against its baseline."""
+
+    game_name: str
+    baseline: SchemeRun
+    runs: Dict[str, SchemeRun]
+
+    def savings(self, scheme_name: str) -> float:
+        """Energy savings of a scheme vs. baseline."""
+        return self.runs[scheme_name].savings_vs(self.baseline)
+
+    def coverage(self, scheme_name: str) -> float:
+        """Short-circuited execution fraction for a scheme."""
+        return self.runs[scheme_name].coverage
+
+    @property
+    def snip_overhead_fraction(self) -> float:
+        """Fig. 11c: the lookup cost SNIP pays, as energy given up
+        relative to the overhead-free variant."""
+        return max(0.0, self.savings("no_overheads") - self.savings("snip"))
+
+    @property
+    def extra_battery_hours(self) -> float:
+        """Battery life SNIP adds over baseline."""
+        return self.runs["snip"].battery_hours - self.baseline.battery_hours
+
+
+@dataclass
+class Fig11Result:
+    """The full scheme-by-game comparison grid."""
+
+    comparisons: List[GameComparison]
+    compared_bytes: Dict[str, float]  # game -> mean bytes compared/event
+
+    def by_game(self) -> Dict[str, GameComparison]:
+        """Comparisons keyed by game name."""
+        return {item.game_name: item for item in self.comparisons}
+
+    def average_savings(self, scheme_name: str) -> float:
+        """Mean savings across games for one scheme."""
+        values = [item.savings(scheme_name) for item in self.comparisons]
+        return sum(values) / len(values)
+
+    def average_coverage(self, scheme_name: str) -> float:
+        """Mean coverage across games for one scheme."""
+        values = [item.coverage(scheme_name) for item in self.comparisons]
+        return sum(values) / len(values)
+
+    @property
+    def average_extra_battery_hours(self) -> float:
+        """Mean extra battery life from SNIP (paper: ~1.6 h)."""
+        values = [item.extra_battery_hours for item in self.comparisons]
+        return sum(values) / len(values)
+
+    def to_text(self) -> str:
+        """Render the three panels."""
+        panel_a = render_table(
+            ["game"] + [f"{name} save" for name in SCHEME_ORDER] + ["snip +hrs"],
+            [
+                [item.game_name]
+                + [pct(item.savings(name)) for name in SCHEME_ORDER]
+                + [f"{item.extra_battery_hours:+.1f} h"]
+                for item in self.comparisons
+            ],
+        )
+        panel_b = render_table(
+            ["game"] + [f"{name} cov" for name in SCHEME_ORDER],
+            [
+                [item.game_name]
+                + [pct(item.coverage(name)) for name in SCHEME_ORDER]
+                for item in self.comparisons
+            ],
+        )
+        panel_c = render_table(
+            ["game", "snip overhead", "bytes compared/event"],
+            [
+                [
+                    item.game_name,
+                    pct(item.snip_overhead_fraction, 2),
+                    f"{self.compared_bytes.get(item.game_name, 0.0):.0f} B",
+                ]
+                for item in self.comparisons
+            ],
+        )
+        return (
+            f"(a) energy benefits\n{panel_a}\n\n"
+            f"(b) short-circuited execution\n{panel_b}\n\n"
+            f"(c) SNIP overheads\n{panel_c}"
+        )
+
+
+def run_fig11(
+    games: Optional[Sequence[str]] = None,
+    seed: int = 7,
+    duration_s: float = 60.0,
+    config: Optional[SnipConfig] = None,
+) -> Fig11Result:
+    """Run every scheme on every game and assemble the grid."""
+    from repro.games.registry import GAME_NAMES
+
+    games = list(games or GAME_NAMES)
+    config = config or SnipConfig()
+    snip = SnipScheme(config)
+    no_overheads = NoOverheadsScheme(config)
+    comparisons = []
+    compared_bytes: Dict[str, float] = {}
+    for game_name in games:
+        snip.prepare(game_name)
+        # Share the profile package so both variants decide identically.
+        no_overheads._packages[game_name] = snip.package_for(game_name)
+        baseline = run_scheme_session(BaselineScheme(), game_name, seed, duration_s)
+        runs: Dict[str, SchemeRun] = {}
+        for scheme in (MaxCpuScheme(), MaxIpScheme(), snip, no_overheads):
+            runs[scheme.name] = run_scheme_session(scheme, game_name, seed, duration_s)
+        table = snip.package_for(game_name).table
+        weighted = 0.0
+        for event_type in table.selection.by_event_type:
+            weighted += table.comparison_bytes(event_type)
+        compared_bytes[game_name] = weighted / max(
+            1, len(table.selection.by_event_type)
+        )
+        comparisons.append(
+            GameComparison(game_name=game_name, baseline=baseline, runs=runs)
+        )
+    return Fig11Result(comparisons=comparisons, compared_bytes=compared_bytes)

@@ -1,0 +1,90 @@
+"""Fig. 12: continuous learning recovers from insufficient profiles.
+
+Paper finding (AB Evolution): when the initial profile is artificially
+insufficient, SNIP short-circuits with ~40% erroneous output fields for
+the first few play instances, but as the cloud loop keeps re-learning
+from new sessions the error collapses below 0.1% — no developer
+intervention required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.report import pct, render_table
+from repro.core.config import SnipConfig
+from repro.core.learning import ContinuousLearner, EpochResult
+
+
+@dataclass
+class Fig12Result:
+    """The error trajectory over learning epochs."""
+
+    game_name: str
+    epochs: List[EpochResult]
+
+    @property
+    def initial_error(self) -> float:
+        """Error of the first (data-starved) epoch."""
+        return self.epochs[0].error_fraction
+
+    @property
+    def final_error(self) -> float:
+        """Error after the last epoch."""
+        return self.epochs[-1].error_fraction
+
+    @property
+    def converged_epoch(self) -> Optional[int]:
+        """First epoch whose error crossed the confidence threshold."""
+        for result in self.epochs:
+            if result.confident:
+                return result.epoch
+        return None
+
+    def to_text(self) -> str:
+        """Render the learning trajectory."""
+        rows = [
+            [
+                result.epoch,
+                result.training_events,
+                result.table_entries,
+                pct(result.hit_fraction),
+                pct(result.error_fraction, 3),
+                "yes" if result.confident else "no",
+            ]
+            for result in self.epochs
+        ]
+        return render_table(
+            ["epoch", "train events", "entries", "hit rate",
+             "% erroneous fields", "confident"],
+            rows,
+        )
+
+
+def run_fig12(
+    game_name: str = "ab_evolution",
+    epochs: int = 8,
+    session_duration_s: float = 30.0,
+    initial_events: int = 60,
+    ramp: float = 2.2,
+    ungated_epochs: int = 2,
+    config: Optional[SnipConfig] = None,
+    seed: int = 0,
+) -> Fig12Result:
+    """Drive the continuous-learning loop and record each epoch.
+
+    ``ungated_epochs`` reproduces the paper's artificially insufficient
+    initial profile: early tables ship without the confidence gate and
+    misfire heavily until real profile volume accumulates.
+    """
+    learner = ContinuousLearner(
+        game_name,
+        config=config,
+        session_duration_s=session_duration_s,
+        initial_events=initial_events,
+        ramp=ramp,
+        ungated_epochs=ungated_epochs,
+        seed=seed,
+    )
+    return Fig12Result(game_name=game_name, epochs=learner.run(epochs))

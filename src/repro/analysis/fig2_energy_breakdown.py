@@ -1,0 +1,78 @@
+"""Fig. 2: per-component energy breakdown across the seven games.
+
+Paper finding: sensors + memory stay under ~10% of total energy while
+CPU (40-60%) and IPs (34-51%) split the rest roughly evenly — the
+motivation for optimizing the whole SoC rather than one component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.report import pct, render_table
+from repro.games.registry import GAME_NAMES
+from repro.soc.component import ComponentGroup
+from repro.users.sessions import run_baseline_session
+
+
+@dataclass(frozen=True)
+class GameBreakdown:
+    """One game's group-level energy shares."""
+
+    game_name: str
+    cpu: float
+    ip: float
+    memory: float
+    sensor: float
+
+    @property
+    def sensors_plus_memory(self) -> float:
+        """The paper's '<10%' bucket."""
+        return self.memory + self.sensor
+
+
+@dataclass
+class Fig2Result:
+    """All seven games' breakdowns, in complexity order."""
+
+    breakdowns: List[GameBreakdown]
+
+    def by_game(self) -> Dict[str, GameBreakdown]:
+        """Breakdowns keyed by game name."""
+        return {item.game_name: item for item in self.breakdowns}
+
+    def to_text(self) -> str:
+        """Render the figure as a table."""
+        rows = [
+            [
+                item.game_name,
+                pct(item.cpu),
+                pct(item.ip),
+                pct(item.memory),
+                pct(item.sensor),
+                pct(item.sensors_plus_memory),
+            ]
+            for item in self.breakdowns
+        ]
+        return render_table(
+            ["game", "cpu", "ips", "memory", "sensors", "sens+mem"], rows
+        )
+
+
+def run_fig2(seed: int = 1, duration_s: float = 60.0) -> Fig2Result:
+    """Measure baseline sessions and slice the ledger by group."""
+    breakdowns = []
+    for game_name in GAME_NAMES:
+        result = run_baseline_session(game_name, seed=seed, duration_s=duration_s)
+        report = result.report
+        breakdowns.append(
+            GameBreakdown(
+                game_name=game_name,
+                cpu=report.group_fraction(ComponentGroup.CPU),
+                ip=report.group_fraction(ComponentGroup.IP),
+                memory=report.group_fraction(ComponentGroup.MEMORY),
+                sensor=report.group_fraction(ComponentGroup.SENSOR),
+            )
+        )
+    return Fig2Result(breakdowns=breakdowns)

@@ -1,0 +1,74 @@
+"""Fig. 3: battery drain across the seven games.
+
+Paper finding: even the lightest game (Colorphun) drains the 3450 mAh
+pack in ~8.5 h against ~20 h for an idle (screen-on) phone, and complex
+3D/AR titles get down to ~3 h — about 6x faster than idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.report import render_table
+from repro.games.registry import GAME_NAMES
+from repro.soc.soc import snapdragon_821
+from repro.users.sessions import run_baseline_session
+
+
+def idle_battery_hours(duration_s: float = 60.0) -> float:
+    """Projected battery life of a screen-on idle phone."""
+    soc = snapdragon_821()
+    soc.advance_time(duration_s)
+    return soc.battery.hours_to_empty(soc.average_watts())
+
+
+@dataclass(frozen=True)
+class DrainRow:
+    """One game's power draw and projected battery life."""
+
+    game_name: str
+    average_watts: float
+    battery_hours: float
+
+
+@dataclass
+class Fig3Result:
+    """Per-game drain plus the idle-phone reference."""
+
+    idle_hours: float
+    rows: List[DrainRow]
+
+    def by_game(self) -> Dict[str, DrainRow]:
+        """Rows keyed by game name."""
+        return {row.game_name: row for row in self.rows}
+
+    @property
+    def drain_speedup_vs_idle(self) -> float:
+        """How much faster the heaviest game drains vs idle (paper ~6x)."""
+        heaviest = min(self.rows, key=lambda row: row.battery_hours)
+        return self.idle_hours / heaviest.battery_hours
+
+    def to_text(self) -> str:
+        """Render the figure as a table."""
+        rows = [["(idle phone)", "-", f"{self.idle_hours:.1f} h"]]
+        rows.extend(
+            [row.game_name, f"{row.average_watts:.2f} W", f"{row.battery_hours:.1f} h"]
+            for row in self.rows
+        )
+        return render_table(["workload", "avg power", "battery life"], rows)
+
+
+def run_fig3(seed: int = 1, duration_s: float = 60.0) -> Fig3Result:
+    """Measure each game's draw and project full-pack drain time."""
+    rows = []
+    for game_name in GAME_NAMES:
+        result = run_baseline_session(game_name, seed=seed, duration_s=duration_s)
+        rows.append(
+            DrainRow(
+                game_name=game_name,
+                average_watts=result.average_watts,
+                battery_hours=result.battery_hours,
+            )
+        )
+    return Fig3Result(idle_hours=idle_battery_hours(), rows=rows)

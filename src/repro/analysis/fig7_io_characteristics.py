@@ -1,0 +1,114 @@
+"""Fig. 7: input/output size characteristics of event processing.
+
+Paper findings (AB Evolution): In.Event records are small (2-640 B),
+fixed-size and consumed ubiquitously; In.History spreads from ~600 B to
+~119 kB because game context grows with scene richness; In.Extern is
+rare (well under 1% of events) but ~1 MB when it happens. Outputs
+mirror the split, with Out.Temp under ~64 B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import pct, render_table
+from repro.android.emulator import Emulator, ProfileRecord
+from repro.android.events import schema_for
+from repro.games.base import InputCategory, OutputCategory
+from repro.games.registry import GAME_CONTENT_SEED, create_game
+from repro.units import format_bytes
+from repro.users.tracegen import generate_trace
+
+
+@dataclass(frozen=True)
+class CategoryProfile:
+    """Size/occurrence statistics for one I/O category."""
+
+    category: str
+    occurrence_fraction: float  # events consuming/producing it
+    min_bytes: int
+    max_bytes: int
+    mean_bytes: float
+
+    def row(self) -> List[object]:
+        """Table row for rendering."""
+        return [
+            self.category,
+            pct(self.occurrence_fraction),
+            format_bytes(self.min_bytes),
+            format_bytes(self.max_bytes),
+            format_bytes(self.mean_bytes),
+        ]
+
+
+def _profile_category(sizes: List[int], total_events: int, name: str) -> CategoryProfile:
+    if not sizes:
+        return CategoryProfile(name, 0.0, 0, 0, 0.0)
+    return CategoryProfile(
+        category=name,
+        occurrence_fraction=len(sizes) / total_events,
+        min_bytes=min(sizes),
+        max_bytes=max(sizes),
+        mean_bytes=sum(sizes) / len(sizes),
+    )
+
+
+@dataclass
+class Fig7Result:
+    """Input (7a) and output (7b) category profiles for one game."""
+
+    game_name: str
+    inputs: Dict[str, CategoryProfile]
+    outputs: Dict[str, CategoryProfile]
+    event_count: int
+
+    def to_text(self) -> str:
+        """Render both panels."""
+        headers = ["category", "% events", "min", "max", "mean"]
+        input_table = render_table(
+            headers, [profile.row() for profile in self.inputs.values()]
+        )
+        output_table = render_table(
+            headers, [profile.row() for profile in self.outputs.values()]
+        )
+        return f"(a) inputs\n{input_table}\n\n(b) outputs\n{output_table}"
+
+
+def run_fig7(
+    game_name: str = "ab_evolution", seed: int = 1, duration_s: float = 120.0
+) -> Fig7Result:
+    """Replay one session and profile per-event I/O sizes by category."""
+    trace = generate_trace(game_name, seed=seed, duration_s=duration_s)
+    records: Sequence[ProfileRecord] = Emulator(verify=False).replay(
+        create_game(game_name, seed=GAME_CONTENT_SEED), trace
+    )
+    input_sizes: Dict[InputCategory, List[int]] = {c: [] for c in InputCategory}
+    output_sizes: Dict[OutputCategory, List[int]] = {c: [] for c in OutputCategory}
+    for record in records:
+        for category in InputCategory:
+            if category is InputCategory.EVENT:
+                # The whole event object is passed to the handler (the
+                # paper's fixed-size In.Event record), regardless of
+                # which fields the handler touches.
+                nbytes = schema_for(record.event_type).nbytes
+            else:
+                nbytes = record.trace.input_bytes(category)
+            if nbytes > 0:
+                input_sizes[category].append(nbytes)
+        for category in OutputCategory:
+            nbytes = record.trace.output_bytes(category)
+            if nbytes > 0:
+                output_sizes[category].append(nbytes)
+    total = len(records)
+    inputs = {
+        category.value: _profile_category(sizes, total, category.value)
+        for category, sizes in input_sizes.items()
+    }
+    outputs = {
+        category.value: _profile_category(sizes, total, category.value)
+        for category, sizes in output_sizes.items()
+    }
+    return Fig7Result(
+        game_name=game_name, inputs=inputs, outputs=outputs, event_count=total
+    )

@@ -1,0 +1,87 @@
+"""Fig. 8: the In.Event-only lookup table and why it fails.
+
+Paper findings (AB Evolution): keying on event fields alone shrinks the
+table to ~1.5% of the naive one and covers ~27% of execution — but ~22%
+of execution lands on keys with multiple possible outputs, and of the
+erroneous short-circuits, a majority corrupt Out.History/Out.Extern
+state, which disqualifies the scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import pct, render_table
+from repro.android.emulator import Emulator
+from repro.games.base import OutputCategory
+from repro.games.registry import GAME_CONTENT_SEED, create_game
+from repro.memo.event_only import EventOnlyStats, EventOnlyTable
+from repro.memo.naive import NaiveLookupTable
+from repro.units import format_bytes
+from repro.users.tracegen import generate_trace
+
+
+@dataclass
+class Fig8Result:
+    """Size comparison (8a) and error breakdown (8b)."""
+
+    game_name: str
+    stats: EventOnlyStats
+    naive_bytes: int
+
+    @property
+    def size_ratio(self) -> float:
+        """Event-only table size relative to the naive table."""
+        if self.naive_bytes <= 0:
+            return 0.0
+        return self.stats.table_bytes / self.naive_bytes
+
+    @property
+    def temp_error_share(self) -> float:
+        """Share of erroneous executions that only glitch Out.Temp."""
+        return self.stats.error_breakdown.get(OutputCategory.TEMP, 0.0)
+
+    @property
+    def state_error_share(self) -> float:
+        """Share corrupting Out.History/Out.Extern (the fatal ones)."""
+        return (
+            self.stats.error_breakdown.get(OutputCategory.HISTORY, 0.0)
+            + self.stats.error_breakdown.get(OutputCategory.EXTERN, 0.0)
+        )
+
+    def to_text(self) -> str:
+        """Render both panels."""
+        part_a = render_table(
+            ["metric", "value"],
+            [
+                ["event-only table", format_bytes(self.stats.table_bytes)],
+                ["naive table", format_bytes(self.naive_bytes)],
+                ["size ratio", pct(self.size_ratio, 2)],
+                ["coverage", pct(self.stats.coverage)],
+                ["ambiguous execution", pct(self.stats.ambiguous_fraction)],
+                ["erroneous execution", pct(self.stats.erroneous_fraction)],
+            ],
+        )
+        part_b = render_table(
+            ["error category", "share"],
+            [
+                ["out_temp (tolerable)", pct(self.temp_error_share)],
+                ["out_history + out_extern (fatal)", pct(self.state_error_share)],
+            ],
+        )
+        return f"(a) table\n{part_a}\n\n(b) erroneous outputs\n{part_b}"
+
+
+def run_fig8(
+    game_name: str = "ab_evolution", seed: int = 1, duration_s: float = 120.0
+) -> Fig8Result:
+    """Build both tables over one replayed session and compare."""
+    trace = generate_trace(game_name, seed=seed, duration_s=duration_s)
+    records = Emulator(verify=False).replay(
+        create_game(game_name, seed=GAME_CONTENT_SEED), trace
+    )
+    event_only = EventOnlyTable(records)
+    naive = NaiveLookupTable(records)
+    return Fig8Result(
+        game_name=game_name, stats=event_only.stats(), naive_bytes=naive.total_bytes
+    )

@@ -1,0 +1,89 @@
+"""One-shot reproduction summary across the cheap experiments.
+
+Runs the characterization suite (Figs. 2-4) plus the AB Evolution
+memoization studies (Figs. 6-8) and renders one combined paper-vs-
+measured digest. The heavyweight experiments (Figs. 9, 11, 12) have
+their own benchmarks; this summary is the quick health check a user
+runs first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.fig2_energy_breakdown import Fig2Result, run_fig2
+from repro.analysis.fig3_battery_drain import Fig3Result, run_fig3
+from repro.analysis.fig4_useless_events import Fig4Result, run_fig4
+from repro.analysis.fig6_table_size import Fig6Result, run_fig6
+from repro.analysis.fig8_event_only import Fig8Result, run_fig8
+from repro.analysis.report import pct, render_table
+from repro.units import format_bytes
+
+
+@dataclass
+class ReproductionSummary:
+    """The quick-check digest over Figs. 2, 3, 4, 6, 8."""
+
+    fig2: Fig2Result
+    fig3: Fig3Result
+    fig4: Fig4Result
+    fig6: Fig6Result
+    fig8: Fig8Result
+
+    def checks(self):
+        """(claim, paper, measured, holds) rows for the digest."""
+        max_sens_mem = max(
+            item.sensors_plus_memory for item in self.fig2.breakdowns
+        )
+        lightest = self.fig3.rows[0].battery_hours
+        heaviest = self.fig3.rows[-1].battery_hours
+        useless = [row.useless_fraction for row in self.fig4.rows]
+        rows = [
+            ("sensors+memory share", "< 10%", pct(max_sens_mem),
+             max_sens_mem < 0.12),
+            ("idle battery life", "~20 h", f"{self.fig3.idle_hours:.1f} h",
+             15.0 < self.fig3.idle_hours < 25.0),
+            ("lightest game drain", "~8.5 h", f"{lightest:.1f} h",
+             7.0 < lightest < 11.0),
+            ("heaviest game drain", "~3 h", f"{heaviest:.1f} h",
+             2.5 < heaviest < 4.5),
+            ("useless events band", "17-43%",
+             f"{pct(min(useless))}-{pct(max(useless))}",
+             0.10 < min(useless) and max(useless) < 0.50),
+            ("worst useless game", "ab_evolution", self.fig4.max_useless_game,
+             self.fig4.max_useless_game == "ab_evolution"),
+            ("naive table verdict", "GBs for a sliver",
+             f"{format_bytes(self.fig6.final_bytes)} for "
+             f"{pct(self.fig6.final_coverage)}",
+             self.fig6.final_bytes > 5_000_000
+             and self.fig6.final_coverage < 0.10),
+            ("event-only table verdict", "small but fatally wrong",
+             f"{pct(self.fig8.size_ratio, 2)} of naive, "
+             f"{pct(self.fig8.state_error_share)} fatal errors",
+             self.fig8.size_ratio < 0.05 and self.fig8.state_error_share > 0.5),
+        ]
+        return rows
+
+    @property
+    def all_hold(self) -> bool:
+        """Whether every quick check reproduces the paper's shape."""
+        return all(holds for *_, holds in self.checks())
+
+    def to_text(self) -> str:
+        """Render the digest."""
+        rows = [
+            [claim, paper, measured, "OK" if holds else "DEVIATES"]
+            for claim, paper, measured, holds in self.checks()
+        ]
+        return render_table(["claim", "paper", "measured", "verdict"], rows)
+
+
+def run_summary(duration_s: float = 45.0, seed: int = 1) -> ReproductionSummary:
+    """Run the quick-check experiments and assemble the digest."""
+    return ReproductionSummary(
+        fig2=run_fig2(seed=seed, duration_s=duration_s),
+        fig3=run_fig3(seed=seed, duration_s=duration_s),
+        fig4=run_fig4(seed=seed, duration_s=max(30.0, duration_s)),
+        fig6=run_fig6(seed=seed, duration_s=max(60.0, duration_s)),
+        fig8=run_fig8(seed=seed, duration_s=max(90.0, duration_s)),
+    )

@@ -1,0 +1,109 @@
+"""UX impact of tolerated Out.Temp errors (paper Sec. IV-B argument).
+
+The paper tolerates wrong ``Out.Temp`` substitutions because "one
+frame's tile being wrong will have little to no impact on the user" —
+a glitched tile shows for <16 ms while human reaction time is 10-20x
+slower [19]. The authors defer a user study; this module quantifies the
+argument for a given runtime configuration: how often a wrong temporary
+output would actually be *perceivable*, i.e. persist on screen at least
+one reaction time because no newer frame overwrote it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import pct, render_table
+
+#: One 60 Hz frame (how long a wrong tile is normally visible).
+FRAME_SECONDS = 1.0 / 60.0
+#: Median visual reaction time from the paper's citation [19].
+REACTION_SECONDS = 0.25
+
+
+@dataclass(frozen=True)
+class UxImpactEstimate:
+    """Perceivability estimate for one game's temp-error profile.
+
+    Attributes
+    ----------
+    temp_error_rate:
+        Fraction of events whose substituted Out.Temp fields are wrong.
+    refresh_rate_hz:
+        How often the affected surface is redrawn (a wrong tile lives
+        until the next redraw).
+    events_per_second:
+        Event rate feeding the surface.
+    """
+
+    game_name: str
+    temp_error_rate: float
+    refresh_rate_hz: float
+    events_per_second: float
+
+    @property
+    def glitch_seconds_visible(self) -> float:
+        """How long one wrong temp output stays on screen."""
+        if self.refresh_rate_hz <= 0:
+            return REACTION_SECONDS  # never overwritten: fully visible
+        return 1.0 / self.refresh_rate_hz
+
+    @property
+    def perceivable(self) -> bool:
+        """Whether a single glitch lasts a reaction time."""
+        return self.glitch_seconds_visible >= REACTION_SECONDS
+
+    @property
+    def glitches_per_minute(self) -> float:
+        """Rate of wrong temp outputs reaching the screen."""
+        return self.temp_error_rate * self.events_per_second * 60.0
+
+    @property
+    def perceived_glitches_per_minute(self) -> float:
+        """Glitches that persist long enough to register."""
+        if self.perceivable:
+            return self.glitches_per_minute
+        # Sub-reaction-time glitches only register when several land
+        # back-to-back on the same surface; approximate by the chance
+        # that a full reaction window is wall-to-wall glitches.
+        window_frames = max(1, int(REACTION_SECONDS * self.refresh_rate_hz))
+        streak_probability = self.temp_error_rate ** window_frames
+        return streak_probability * self.events_per_second * 60.0
+
+    def row(self):
+        """Table row for rendering."""
+        return [
+            self.game_name,
+            pct(self.temp_error_rate, 2),
+            f"{self.glitch_seconds_visible * 1000:.0f} ms",
+            "yes" if self.perceivable else "no",
+            f"{self.perceived_glitches_per_minute:.3f}/min",
+        ]
+
+
+def estimate_ux_impact(
+    game_name: str,
+    temp_error_rate: float,
+    refresh_rate_hz: float = 60.0,
+    events_per_second: float = 60.0,
+) -> UxImpactEstimate:
+    """Build the estimate from a measured temp-error rate."""
+    if not 0.0 <= temp_error_rate <= 1.0:
+        raise ValueError(f"temp_error_rate out of [0,1]: {temp_error_rate}")
+    if events_per_second < 0 or refresh_rate_hz < 0:
+        raise ValueError("rates must be non-negative")
+    return UxImpactEstimate(
+        game_name=game_name,
+        temp_error_rate=temp_error_rate,
+        refresh_rate_hz=refresh_rate_hz,
+        events_per_second=events_per_second,
+    )
+
+
+def render_ux_table(estimates) -> str:
+    """Render a set of estimates as the paper-style argument table."""
+    return render_table(
+        ["game", "temp error rate", "glitch visible", "perceivable",
+         "perceived glitches"],
+        [estimate.row() for estimate in estimates],
+    )

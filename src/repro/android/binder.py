@@ -1,0 +1,45 @@
+"""Binder IPC: copy event objects from the OS into the app.
+
+Step 3 (second half) of the paper's Fig. 1: events cross the
+framework/app boundary through Binder shared memory [9]. We charge one
+little-core transaction cost plus the memory traffic of the event
+record. Like sensing and synthesis, this cost is paid whether or not
+SNIP later short-circuits the handler.
+"""
+
+from __future__ import annotations
+
+from repro.android.events import Event
+from repro.soc.soc import Soc
+
+#: Little-core cycles per Binder transaction (marshalling + syscall).
+BINDER_TRANSACTION_CYCLES = 14_000
+
+
+class Binder:
+    """Shared-memory IPC channel between SensorManager and the app."""
+
+    def __init__(self, soc: Soc) -> None:
+        self._soc = soc
+        self._transactions = 0
+        self._bytes_transferred = 0
+
+    @property
+    def transaction_count(self) -> int:
+        """How many Binder transactions have completed."""
+        return self._transactions
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total event-object bytes copied across the boundary."""
+        return self._bytes_transferred
+
+    def transfer(self, event: Event, tag: str = "event") -> Event:
+        """Copy ``event`` into the app process, charging IPC costs."""
+        self._soc.cpu.execute(BINDER_TRANSACTION_CYCLES, big=False, tag=tag)
+        # The record crosses memory twice: write by the framework, read
+        # by the app-side proxy.
+        self._soc.memory.transfer(2 * event.nbytes, tag=tag)
+        self._transactions += 1
+        self._bytes_transferred += event.nbytes
+        return event

@@ -1,0 +1,111 @@
+"""Event delivery loop: sensors -> hub -> manager -> binder -> handler.
+
+This is the device-side execution path. :func:`charge_trace` converts a
+handler's :class:`~repro.games.base.ProcessingTrace` into SoC energy;
+the optimization schemes reuse it to charge exactly the work they did
+not avoid.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.android.binder import Binder
+from repro.android.events import Event
+from repro.android.sensor_hub import SensorHub
+from repro.android.sensor_manager import SensorManager
+from repro.android.tracing import EventTracer
+from repro.soc.soc import Soc
+
+if TYPE_CHECKING:  # pragma: no cover - layering: games sit above android
+    from repro.games.base import Game, ProcessingTrace
+
+
+def charge_trace(soc: Soc, trace: "ProcessingTrace", tag: str = "event") -> None:
+    """Charge one handler trace's work to the SoC.
+
+    The trace is an abstract work record; this function is the single
+    place that converts it into component energy, so CPU-only or IP-only
+    schemes can instead charge just the slices they execute.
+    """
+    big_cycles = trace.cpu_big_cycles
+    little_cycles = trace.cpu_little_cycles
+    for func_call in trace.cpu_funcs:
+        if func_call.big:
+            big_cycles += func_call.cycles
+        else:
+            little_cycles += func_call.cycles
+    if big_cycles:
+        soc.cpu.execute(big_cycles, big=True, tag=tag)
+    if little_cycles:
+        soc.cpu.execute(little_cycles, big=False, tag=tag)
+    if trace.memory_bytes:
+        soc.memory.transfer(trace.memory_bytes, tag=tag)
+    for call in trace.ip_calls:
+        soc.ip(call.ip_name).invoke(
+            call.work_units, bytes_in=call.bytes_in, bytes_out=call.bytes_out, tag=tag
+        )
+
+
+def charge_upkeep(soc: Soc, game: "Game", event: Event, tag: str = "event") -> int:
+    """Charge the game's unavoidable engine upkeep for one event.
+
+    Returns the cycles charged so callers can fold them into coverage
+    denominators (upkeep executes under every scheme, snipped or not).
+    """
+    game.advance_engine(event)
+    cycles = game.upkeep_cycles_for(event.event_type)
+    if cycles:
+        soc.cpu.execute(cycles, big=True, tag=tag)
+    for ip_name, units in game.upkeep_ip_units_for(event.event_type).items():
+        if units:
+            soc.ip(ip_name).invoke(units, bytes_in=128 * 1024, tag=tag)
+    return cycles
+
+
+def charge_delivery(
+    soc: Soc,
+    hub: SensorHub,
+    manager: SensorManager,
+    binder: Binder,
+    event: Event,
+    tag: str = "event",
+) -> None:
+    """Charge the unavoidable pre-handler pipeline for one event.
+
+    Sensing, hub batching, gesture synthesis and the Binder hop happen
+    before any lookup can decide to short-circuit, so every scheme pays
+    this cost for every event.
+    """
+    samples = hub.capture(event, tag=tag)
+    manager.synthesize(event, samples, tag=tag)
+    binder.transfer(event, tag=tag)
+
+
+class EventLoop:
+    """Baseline device execution: deliver and fully process every event."""
+
+    def __init__(self, soc: Soc, game: "Game", tracer: Optional[EventTracer] = None) -> None:
+        self.soc = soc
+        self.game = game
+        self.tracer = tracer
+        self.hub = SensorHub(soc)
+        self.manager = SensorManager(soc)
+        self.binder = Binder(soc)
+        self._events_delivered = 0
+
+    @property
+    def events_delivered(self) -> int:
+        """How many events have gone through the loop."""
+        return self._events_delivered
+
+    def deliver(self, event: Event) -> "ProcessingTrace":
+        """Run one event end-to-end, charging every stage to the SoC."""
+        if self.tracer is not None:
+            self.tracer.record(event)
+        charge_delivery(self.soc, self.hub, self.manager, self.binder, event)
+        charge_upkeep(self.soc, self.game, event)
+        trace = self.game.process(event)
+        charge_trace(self.soc, trace)
+        self._events_delivered += 1
+        return trace

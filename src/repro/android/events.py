@@ -1,0 +1,440 @@
+"""Typed event objects and their wire schemas.
+
+Event objects are the ``In.Event`` input category of the paper (Sec.
+IV-A): fixed-size, fixed-location records passed as handler arguments,
+2–640 bytes depending on type. Every event type has an
+:class:`EventSchema` listing its fields with byte widths, which gives the
+memoization substrates an exact per-record size and gives the ML layer a
+stable feature ordering.
+
+Values are stored quantised (ints, or floats rounded to the sensor's
+resolution) so that equality — the basis of memoization — is exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple, Union
+
+from repro.errors import EventError, UnknownEventTypeError
+
+FieldValue = Union[int, float, str]
+
+
+class EventType(enum.Enum):
+    """High-level event kinds delivered to game handlers."""
+
+    TOUCH = "touch"
+    SWIPE = "swipe"
+    MULTI_TOUCH = "multi_touch"
+    GYRO = "gyro"
+    CAMERA_FRAME = "camera_frame"
+    GPS = "gps"
+    FRAME_TICK = "frame_tick"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class EventFieldSpec:
+    """One field of an event object.
+
+    Attributes
+    ----------
+    name:
+        Field name, unique within the schema.
+    nbytes:
+        Wire size of the field, counted toward the In.Event record size.
+    resolution:
+        Quantisation step for float fields (values are rounded to a
+        multiple of this); ``None`` for ints/strings.
+    """
+
+    name: str
+    nbytes: int
+    resolution: float = 0.0
+
+    def quantise(self, value: FieldValue) -> FieldValue:
+        """Snap ``value`` to this field's resolution grid.
+
+        Sensors deliver at finite resolution (a touch digitizer grid, a
+        gyro LSB): two user actions the hardware cannot distinguish
+        produce identical event objects. This is what makes In.Event
+        records repeat at all.
+        """
+        if self.resolution > 0:
+            if isinstance(value, float):
+                return round(round(value / self.resolution) * self.resolution, 10)
+            if isinstance(value, int) and not isinstance(value, bool):
+                step = int(self.resolution)
+                if step > 1:
+                    return (value // step) * step
+        return value
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """The full field layout of one event type."""
+
+    event_type: EventType
+    fields: Tuple[EventFieldSpec, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Total In.Event record size for this type."""
+        return sum(spec.nbytes for spec in self.fields)
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        """Stable field ordering used by feature encoding."""
+        return tuple(spec.name for spec in self.fields)
+
+    def spec(self, name: str) -> EventFieldSpec:
+        """Look up one field spec by name."""
+        for candidate in self.fields:
+            if candidate.name == name:
+                return candidate
+        raise EventError(f"{self.event_type}: no field named {name!r}")
+
+
+def _touch_schema() -> EventSchema:
+    return EventSchema(
+        EventType.TOUCH,
+        (
+            EventFieldSpec("x", 2, resolution=32),
+            EventFieldSpec("y", 2, resolution=32),
+            EventFieldSpec("pressure", 2, resolution=0.1),
+            EventFieldSpec("action", 1),  # 0=down, 1=up, 2=move
+            EventFieldSpec("pointer_id", 1),
+        ),
+    )
+
+
+def _swipe_schema() -> EventSchema:
+    return EventSchema(
+        EventType.SWIPE,
+        (
+            EventFieldSpec("x0", 2, resolution=64),
+            EventFieldSpec("y0", 2, resolution=64),
+            EventFieldSpec("x1", 2, resolution=64),
+            EventFieldSpec("y1", 2, resolution=64),
+            EventFieldSpec("velocity", 4, resolution=400.0),
+            EventFieldSpec("direction", 1),  # 0=N,1=NE,...,7=NW octant
+            EventFieldSpec("duration_ms", 2, resolution=80),
+            EventFieldSpec("path_points", 1),
+        ),
+    )
+
+
+def _multi_touch_schema() -> EventSchema:
+    # Two tracked pointers plus gesture summary (pinch/drag classifier).
+    return EventSchema(
+        EventType.MULTI_TOUCH,
+        (
+            EventFieldSpec("x0", 2, resolution=64),
+            EventFieldSpec("y0", 2, resolution=64),
+            EventFieldSpec("x1", 2, resolution=32),
+            EventFieldSpec("y1", 2, resolution=32),
+            EventFieldSpec("gesture", 1),  # 0=drag, 1=pinch, 2=spread
+            EventFieldSpec("magnitude", 4, resolution=1.0),
+            EventFieldSpec("pointer_count", 1),
+        ),
+    )
+
+
+def _gyro_schema() -> EventSchema:
+    return EventSchema(
+        EventType.GYRO,
+        (
+            EventFieldSpec("alpha", 4, resolution=4.0),
+            EventFieldSpec("beta", 4, resolution=4.0),
+            EventFieldSpec("gamma", 4, resolution=4.0),
+            EventFieldSpec("rate", 4, resolution=5.0),
+        ),
+    )
+
+
+def _camera_frame_schema() -> EventSchema:
+    # The camera feed itself is megabytes (In.Extern / In.History); the
+    # event object delivered to the handler is a frame descriptor whose
+    # size dominates the In.Event spectrum (640 B in Fig. 7a).
+    specs = [
+        EventFieldSpec("frame_id", 4),
+        EventFieldSpec("scene_complexity", 2),
+        EventFieldSpec("feature_count", 2),
+        EventFieldSpec("exposure", 2),
+        EventFieldSpec("focus_zone", 1),
+        EventFieldSpec("motion_score", 4, resolution=1.0),
+    ]
+    # 25 region-of-interest descriptors, 25 bytes each, pad to 640 B.
+    for index in range(25):
+        specs.append(EventFieldSpec(f"roi_{index}", 25))
+    return EventSchema(EventType.CAMERA_FRAME, tuple(specs))
+
+
+def _frame_tick_schema() -> EventSchema:
+    # Choreographer vsync callback: apps draw their frames from these.
+    # Deliberately tiny (the 2 B low end of Fig. 7a's In.Event spread).
+    return EventSchema(
+        EventType.FRAME_TICK,
+        (
+            EventFieldSpec("delta_ms", 1),
+            EventFieldSpec("slot", 1),  # vsync index mod 4 (animation phase)
+        ),
+    )
+
+
+def _gps_schema() -> EventSchema:
+    return EventSchema(
+        EventType.GPS,
+        (
+            EventFieldSpec("lat_cell", 4),
+            EventFieldSpec("lon_cell", 4),
+            EventFieldSpec("accuracy_m", 2),
+            EventFieldSpec("speed", 2, resolution=0.1),
+        ),
+    )
+
+
+#: Registry of every event schema, keyed by type.
+EVENT_SCHEMAS: Dict[EventType, EventSchema] = {
+    schema.event_type: schema
+    for schema in (
+        _touch_schema(),
+        _swipe_schema(),
+        _multi_touch_schema(),
+        _gyro_schema(),
+        _camera_frame_schema(),
+        _gps_schema(),
+        _frame_tick_schema(),
+    )
+}
+
+
+def schema_for(event_type: EventType) -> EventSchema:
+    """Look up the schema for ``event_type``."""
+    try:
+        return EVENT_SCHEMAS[event_type]
+    except KeyError:
+        raise UnknownEventTypeError(f"no schema for event type {event_type!r}") from None
+
+
+class Event:
+    """One concrete event instance.
+
+    Values are validated and quantised against the schema at
+    construction, so two events that a real sensor could not distinguish
+    compare equal — the property memoization keys rely on.
+    """
+
+    __slots__ = ("schema", "values", "sequence", "timestamp")
+
+    def __init__(
+        self,
+        event_type: EventType,
+        values: Mapping[str, FieldValue],
+        sequence: int = 0,
+        timestamp: float = 0.0,
+    ) -> None:
+        schema = schema_for(event_type)
+        missing = set(schema.field_names) - set(values)
+        extra = set(values) - set(schema.field_names)
+        if missing:
+            raise EventError(f"{event_type}: missing fields {sorted(missing)}")
+        if extra:
+            raise EventError(f"{event_type}: unknown fields {sorted(extra)}")
+        self.schema = schema
+        self.values: Dict[str, FieldValue] = {
+            spec.name: spec.quantise(values[spec.name]) for spec in schema.fields
+        }
+        self.sequence = sequence
+        self.timestamp = timestamp
+
+    @property
+    def event_type(self) -> EventType:
+        """The event kind."""
+        return self.schema.event_type
+
+    @property
+    def nbytes(self) -> int:
+        """In.Event record size delivered over Binder."""
+        return self.schema.nbytes
+
+    def field(self, name: str) -> FieldValue:
+        """Read one field value."""
+        try:
+            return self.values[name]
+        except KeyError:
+            raise EventError(f"{self.event_type}: no field named {name!r}") from None
+
+    def key(self) -> Tuple[FieldValue, ...]:
+        """Hashable tuple of all field values in schema order."""
+        return tuple(self.values[name] for name in self.schema.field_names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.event_type == other.event_type and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash((self.event_type, self.key()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.event_type}, seq={self.sequence}, {self.values})"
+
+
+# -- convenience constructors ------------------------------------------
+
+
+def make_touch(
+    x: int,
+    y: int,
+    pressure: float = 0.5,
+    action: int = 0,
+    pointer_id: int = 0,
+    sequence: int = 0,
+    timestamp: float = 0.0,
+) -> Event:
+    """Build a touch event."""
+    return Event(
+        EventType.TOUCH,
+        {"x": x, "y": y, "pressure": pressure, "action": action, "pointer_id": pointer_id},
+        sequence=sequence,
+        timestamp=timestamp,
+    )
+
+
+def make_swipe(
+    x0: int,
+    y0: int,
+    x1: int,
+    y1: int,
+    velocity: float,
+    direction: int,
+    duration_ms: int,
+    path_points: int = 8,
+    sequence: int = 0,
+    timestamp: float = 0.0,
+) -> Event:
+    """Build a swipe (gesture-classified MotionEvent series)."""
+    return Event(
+        EventType.SWIPE,
+        {
+            "x0": x0,
+            "y0": y0,
+            "x1": x1,
+            "y1": y1,
+            "velocity": velocity,
+            "direction": direction,
+            "duration_ms": duration_ms,
+            "path_points": path_points,
+        },
+        sequence=sequence,
+        timestamp=timestamp,
+    )
+
+
+def make_multi_touch(
+    x0: int,
+    y0: int,
+    x1: int,
+    y1: int,
+    gesture: int,
+    magnitude: float,
+    pointer_count: int = 2,
+    sequence: int = 0,
+    timestamp: float = 0.0,
+) -> Event:
+    """Build a multi-touch gesture event (drag/pinch/spread)."""
+    return Event(
+        EventType.MULTI_TOUCH,
+        {
+            "x0": x0,
+            "y0": y0,
+            "x1": x1,
+            "y1": y1,
+            "gesture": gesture,
+            "magnitude": magnitude,
+            "pointer_count": pointer_count,
+        },
+        sequence=sequence,
+        timestamp=timestamp,
+    )
+
+
+def make_gyro(
+    alpha: float,
+    beta: float,
+    gamma: float,
+    rate: float,
+    sequence: int = 0,
+    timestamp: float = 0.0,
+) -> Event:
+    """Build a gyroscope (tilt) event with Euler angles in degrees."""
+    return Event(
+        EventType.GYRO,
+        {"alpha": alpha, "beta": beta, "gamma": gamma, "rate": rate},
+        sequence=sequence,
+        timestamp=timestamp,
+    )
+
+
+def make_camera_frame(
+    frame_id: int,
+    scene_complexity: int,
+    feature_count: int,
+    roi_values: Sequence[int],
+    exposure: int = 100,
+    focus_zone: int = 0,
+    motion_score: float = 0.0,
+    sequence: int = 0,
+    timestamp: float = 0.0,
+) -> Event:
+    """Build a camera frame-descriptor event (25 ROI slots)."""
+    if len(roi_values) != 25:
+        raise EventError(f"camera frame needs 25 ROI values, got {len(roi_values)}")
+    values: Dict[str, FieldValue] = {
+        "frame_id": frame_id,
+        "scene_complexity": scene_complexity,
+        "feature_count": feature_count,
+        "exposure": exposure,
+        "focus_zone": focus_zone,
+        "motion_score": motion_score,
+    }
+    for index, roi in enumerate(roi_values):
+        values[f"roi_{index}"] = roi
+    return Event(EventType.CAMERA_FRAME, values, sequence=sequence, timestamp=timestamp)
+
+
+def make_frame_tick(
+    delta_ms: int = 16,
+    slot: int = 0,
+    sequence: int = 0,
+    timestamp: float = 0.0,
+) -> Event:
+    """Build a choreographer vsync (frame tick) event."""
+    return Event(
+        EventType.FRAME_TICK,
+        {"delta_ms": delta_ms, "slot": slot},
+        sequence=sequence,
+        timestamp=timestamp,
+    )
+
+
+def make_gps(
+    lat_cell: int,
+    lon_cell: int,
+    accuracy_m: int = 5,
+    speed: float = 1.0,
+    sequence: int = 0,
+    timestamp: float = 0.0,
+) -> Event:
+    """Build a GPS position event (grid-cell quantised)."""
+    return Event(
+        EventType.GPS,
+        {"lat_cell": lat_cell, "lon_cell": lon_cell, "accuracy_m": accuracy_m, "speed": speed},
+        sequence=sequence,
+        timestamp=timestamp,
+    )

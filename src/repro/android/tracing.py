@@ -1,0 +1,125 @@
+"""Device-side event recording (the logcat-like tracer).
+
+The first stage of the SNIP methodology (Fig. 10): while the user plays,
+the phone records only the *event inputs* — cheap, a few hundred bytes
+per event — and ships them to the cloud, where the emulator replays them
+to regenerate the full input/output profile. This module is that
+recorder plus the serializable trace format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.android.events import Event, EventType
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class RecordedEvent:
+    """One event as captured by the tracer (values only, no outputs)."""
+
+    sequence: int
+    timestamp: float
+    event_type: EventType
+    values: Tuple[Tuple[str, Any], ...]
+
+    def to_event(self) -> Event:
+        """Reconstruct the live event object for replay."""
+        return Event(
+            self.event_type,
+            dict(self.values),
+            sequence=self.sequence,
+            timestamp=self.timestamp,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Record size contributed to the uplink payload."""
+        return self.to_event().nbytes
+
+
+@dataclass
+class RecordedTrace:
+    """A full session recording: ordered events plus metadata."""
+
+    game_name: str
+    seed: int
+    events: List[RecordedEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[RecordedEvent]:
+        return iter(self.events)
+
+    @property
+    def uplink_bytes(self) -> int:
+        """Total bytes the phone must upload for this trace.
+
+        The paper's Sec. VII-C point: client-side collection overhead is
+        negligible because only In.Event data is shipped.
+        """
+        return sum(record.nbytes for record in self.events)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-serialisable) for storage/transfer."""
+        return {
+            "game_name": self.game_name,
+            "seed": self.seed,
+            "events": [
+                {
+                    "sequence": record.sequence,
+                    "timestamp": record.timestamp,
+                    "event_type": record.event_type.value,
+                    "values": dict(record.values),
+                }
+                for record in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RecordedTrace":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            events = [
+                RecordedEvent(
+                    sequence=entry["sequence"],
+                    timestamp=entry["timestamp"],
+                    event_type=EventType(entry["event_type"]),
+                    values=tuple(sorted(entry["values"].items())),
+                )
+                for entry in payload["events"]
+            ]
+            return cls(game_name=payload["game_name"], seed=payload["seed"], events=events)
+        except (KeyError, ValueError) as exc:
+            raise TraceError(f"malformed trace payload: {exc}") from exc
+
+
+class EventTracer:
+    """Records the event stream of one live session."""
+
+    def __init__(self, game_name: str, seed: int) -> None:
+        self._trace = RecordedTrace(game_name=game_name, seed=seed)
+
+    def record(self, event: Event) -> None:
+        """Append one event to the trace, preserving arrival order."""
+        if self._trace.events and event.sequence <= self._trace.events[-1].sequence:
+            raise TraceError(
+                f"event sequence regressed: {event.sequence} after "
+                f"{self._trace.events[-1].sequence}"
+            )
+        self._trace.events.append(
+            RecordedEvent(
+                sequence=event.sequence,
+                timestamp=event.timestamp,
+                event_type=event.event_type,
+                values=tuple(sorted(event.values.items())),
+            )
+        )
+
+    @property
+    def trace(self) -> RecordedTrace:
+        """The trace accumulated so far."""
+        return self._trace

@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the library's main workflows without writing code:
+
+* ``list-games`` — the seven-game catalogue;
+* ``session`` — run one baseline session and print its energy summary;
+* ``snip`` — profile a game, ship the table, evaluate on a fresh session;
+* ``experiment`` — regenerate one paper figure/table by id;
+* ``devreport`` — the Option-1 developer-intervention report;
+* ``ota`` / ``ota-info`` — write and inspect the over-the-air table file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.core.config import SnipConfig
+from repro.core.devreport import build_developer_report
+from repro.core.profiler import CloudProfiler
+from repro.core.runtime import SnipRuntime
+from repro.core.serialization import dump_table, load_table
+from repro.games.registry import GAME_CONTENT_SEED, GAME_NAMES, GAMES, create_game
+from repro.soc.component import ComponentGroup
+from repro.soc.soc import snapdragon_821
+from repro.units import format_bytes
+from repro.users.sessions import run_baseline_session
+from repro.users.tracegen import generate_events
+
+
+def _parse_seeds(raw: str) -> List[int]:
+    try:
+        return [int(chunk) for chunk in raw.split(",") if chunk.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad seed list: {raw!r}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SNIP (IISWC 2020) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list-games", help="show the workload catalogue")
+
+    session = commands.add_parser("session", help="run one baseline session")
+    session.add_argument("game", choices=GAME_NAMES)
+    session.add_argument("--seed", type=int, default=1)
+    session.add_argument("--duration", type=float, default=60.0)
+
+    snip = commands.add_parser("snip", help="profile, ship, and evaluate SNIP")
+    snip.add_argument("game", choices=GAME_NAMES)
+    snip.add_argument("--profile-seeds", type=_parse_seeds, default=[1, 2])
+    snip.add_argument("--profile-duration", type=float, default=45.0)
+    snip.add_argument("--eval-seed", type=int, default=7)
+    snip.add_argument("--eval-duration", type=float, default=45.0)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one paper figure/table"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+
+    devreport = commands.add_parser(
+        "devreport", help="developer-intervention report (Option 1)"
+    )
+    devreport.add_argument("game", choices=GAME_NAMES)
+    devreport.add_argument("--profile-seeds", type=_parse_seeds, default=[1, 2])
+    devreport.add_argument("--profile-duration", type=float, default=30.0)
+
+    ota = commands.add_parser("ota", help="build and write the OTA table file")
+    ota.add_argument("game", choices=GAME_NAMES)
+    ota.add_argument("--out", required=True)
+    ota.add_argument("--profile-seeds", type=_parse_seeds, default=[1, 2])
+    ota.add_argument("--profile-duration", type=float, default=45.0)
+
+    ota_info = commands.add_parser("ota-info", help="inspect an OTA table file")
+    ota_info.add_argument("path")
+
+    commands.add_parser(
+        "summary", help="quick paper-vs-measured digest (Figs. 2-4, 6, 8)"
+    )
+
+    federated = commands.add_parser(
+        "federate", help="build a fleet table from per-device statistics"
+    )
+    federated.add_argument("game", choices=GAME_NAMES)
+    federated.add_argument("--devices", type=int, default=4)
+    federated.add_argument("--sessions", type=int, default=2)
+    federated.add_argument("--duration", type=float, default=30.0)
+
+    return parser
+
+
+# -- command implementations ----------------------------------------------
+
+
+def _cmd_list_games(out) -> int:
+    for name in GAME_NAMES:
+        info = GAMES[name]
+        print(f"{name:14s} {info.category:16s} {info.display_name}", file=out)
+    return 0
+
+
+def _cmd_session(args, out) -> int:
+    result = run_baseline_session(args.game, seed=args.seed,
+                                  duration_s=args.duration)
+    report = result.report
+    print(f"game:            {args.game}", file=out)
+    print(f"events:          {len(result.events)}", file=out)
+    print(f"energy:          {report.total_joules:.1f} J "
+          f"({result.average_watts:.2f} W)", file=out)
+    print(f"battery life:    {result.battery_hours:.1f} h", file=out)
+    print(f"useless events:  {result.useless_user_fraction:.1%}", file=out)
+    for group in ComponentGroup:
+        print(f"  {group.value:7s} {report.group_fraction(group):6.1%}", file=out)
+    return 0
+
+
+def _cmd_snip(args, out) -> int:
+    config = SnipConfig()
+    profiler = CloudProfiler(config)
+    package = profiler.build_package_from_sessions(
+        args.game, seeds=args.profile_seeds, duration_s=args.profile_duration
+    )
+    print(f"table: {package.table.entry_count} entries, "
+          f"{format_bytes(package.table_bytes)} "
+          f"({package.shrink_factor:.0f}x below naive)", file=out)
+    soc = snapdragon_821()
+    runtime = SnipRuntime(
+        soc, create_game(args.game, seed=GAME_CONTENT_SEED), package.table, config
+    )
+    clock = 0.0
+    for event in generate_events(args.game, args.eval_seed, args.eval_duration):
+        if event.timestamp > clock:
+            soc.advance_time(event.timestamp - clock)
+            clock = event.timestamp
+        runtime.deliver(event)
+    soc.advance_time(max(0.0, args.eval_duration - clock))
+    baseline = run_baseline_session(
+        args.game, seed=args.eval_seed, duration_s=args.eval_duration
+    )
+    savings = 1 - soc.meter.total_joules / baseline.report.total_joules
+    print(f"savings:  {savings:.1%}", file=out)
+    print(f"coverage: {runtime.stats.coverage:.1%}", file=out)
+    print(f"hit rate: {runtime.stats.hit_rate:.1%}", file=out)
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    result = run_experiment(args.id)
+    print(result.to_text(), file=out)
+    return 0
+
+
+def _cmd_devreport(args, out) -> int:
+    profiler = CloudProfiler(SnipConfig())
+    package = profiler.build_package_from_sessions(
+        args.game, seeds=args.profile_seeds, duration_s=args.profile_duration
+    )
+    report = build_developer_report(args.game, package.analysis, package.selection)
+    print(report.to_text(), file=out)
+    return 0
+
+
+def _cmd_ota(args, out) -> int:
+    profiler = CloudProfiler(SnipConfig())
+    package = profiler.build_package_from_sessions(
+        args.game, seeds=args.profile_seeds, duration_s=args.profile_duration
+    )
+    nbytes = dump_table(package.table, args.out)
+    print(f"wrote {args.out}: {format_bytes(nbytes)} "
+          f"({package.table.entry_count} entries)", file=out)
+    return 0
+
+
+def _cmd_summary(out) -> int:
+    from repro.analysis.summary import run_summary
+
+    summary = run_summary()
+    print(summary.to_text(), file=out)
+    print(
+        "all checks hold" if summary.all_hold else "some checks deviate",
+        file=out,
+    )
+    return 0 if summary.all_hold else 1
+
+
+def _cmd_federate(args, out) -> int:
+    from repro.core.federated import federate
+    from repro.users.population import Population
+
+    config = SnipConfig()
+    package = CloudProfiler(config).build_package_from_sessions(
+        args.game, seeds=[1], duration_s=args.duration
+    )
+    population = Population(seed=11)
+    per_device = {
+        device_id: [
+            population.user_trace(args.game, device_id, session, args.duration)
+            for session in range(args.sessions)
+        ]
+        for device_id in range(args.devices)
+    }
+    table, uplink = federate(args.game, per_device, package.selection, config)
+    print(f"fleet: {args.devices} devices x {args.sessions} sessions "
+          f"({population.census(args.devices)})", file=out)
+    print(f"fleet table: {table.entry_count} entries, "
+          f"{format_bytes(table.total_bytes)}", file=out)
+    print(f"uplink (statistics only): {format_bytes(uplink)}", file=out)
+    return 0
+
+
+def _cmd_ota_info(args, out) -> int:
+    table = load_table(args.path)
+    print(f"entries:  {table.entry_count}", file=out)
+    print(f"size:     {format_bytes(table.total_bytes)}", file=out)
+    for event_type in table.event_types():
+        fields = ", ".join(info.name for info in table.fields_for(event_type))
+        print(f"  {event_type.value}: {table.entries_for(event_type)} entries, "
+              f"key = [{fields}]", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-games": lambda: _cmd_list_games(out),
+        "session": lambda: _cmd_session(args, out),
+        "snip": lambda: _cmd_snip(args, out),
+        "experiment": lambda: _cmd_experiment(args, out),
+        "devreport": lambda: _cmd_devreport(args, out),
+        "ota": lambda: _cmd_ota(args, out),
+        "ota-info": lambda: _cmd_ota_info(args, out),
+        "summary": lambda: _cmd_summary(out),
+        "federate": lambda: _cmd_federate(args, out),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

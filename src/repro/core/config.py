@@ -1,0 +1,74 @@
+"""SNIP configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SnipConfig:
+    """Everything tunable about the SNIP pipeline.
+
+    Attributes
+    ----------
+    forest_trees / forest_depth / forest_min_leaf:
+        Random-forest shape for the PFI model.
+    pfi_repeats:
+        Permutation repeats per feature (averaged).
+    max_rows_per_type:
+        Cap on profile rows fed to the PFI model per event type (the
+        table-error check still uses every record).
+    lookup_base_cycles / lookup_cycles_per_byte:
+        Runtime cost model of one table probe: hashing the event object
+        plus comparing each necessary input byte (Fig. 11c overheads).
+    """
+
+    forest_trees: int = 6
+    forest_depth: int = 14
+    forest_min_leaf: int = 2
+    pfi_repeats: int = 2
+    max_rows_per_type: int = 4000
+    lookup_base_cycles: int = 400_000
+    lookup_cycles_per_byte: int = 200
+    #: Confidence gate on shipped table entries: a key only enters the
+    #: table if it occurred at least this many times in the profile...
+    table_min_count: int = 3
+    #: ...and its majority output carried at least this weight share.
+    table_consistency: float = 0.98
+    #: On-device continuous learning: a key observed this many times
+    #: with consistent outputs is promoted to a live entry (the paper's
+    #: Option 2 loop at its finest granularity). 0 disables it.
+    online_warmup: int = 2
+    #: Hard cap on live table entries per game on the device (shipped
+    #: plus online-promoted). 0 means unbounded. When full, promoting a
+    #: new entry evicts the lowest-confidence (profile_weight) one.
+    table_capacity_entries: int = 50_000
+    #: Minimum absolute gated-coverage gain for a field to join the key.
+    selection_epsilon: float = 0.002
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.forest_trees < 1 or self.forest_depth < 1 or self.forest_min_leaf < 1:
+            raise ConfigurationError("forest parameters must be positive")
+        if self.pfi_repeats < 1:
+            raise ConfigurationError("pfi_repeats must be positive")
+        if self.max_rows_per_type < 10:
+            raise ConfigurationError("max_rows_per_type must be at least 10")
+        if self.lookup_base_cycles < 0 or self.lookup_cycles_per_byte < 0:
+            raise ConfigurationError("lookup cost constants must be non-negative")
+        if self.table_min_count < 1:
+            raise ConfigurationError("table support thresholds must be positive")
+        if self.online_warmup < 0:
+            raise ConfigurationError("online_warmup must be non-negative")
+        if self.table_capacity_entries < 0:
+            raise ConfigurationError("table_capacity_entries must be >= 0")
+        if not 0.5 <= self.table_consistency <= 1.0:
+            raise ConfigurationError(
+                f"table_consistency out of [0.5, 1]: {self.table_consistency}"
+            )
+        if not 0.0 <= self.selection_epsilon < 0.5:
+            raise ConfigurationError(
+                f"selection_epsilon out of [0, 0.5): {self.selection_epsilon}"
+            )

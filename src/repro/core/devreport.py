@@ -1,0 +1,118 @@
+"""Developer-intervention report (paper Fig. 10, Option 1).
+
+During app testing, "the necessary input fields are mapped to the source
+code's variables ... and the app developers can fine tune the necessary
+inputs by adding more necessary inputs and/or marking Out.Temp variables
+that can tolerate errors". This module renders that feedback artifact:
+for every event type, which input locations PFI kept (with importance,
+category, and width), which heavy locations it dropped, and which output
+fields are Out.Temp candidates for error tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.report import pct, render_table
+from repro.android.events import EventType
+from repro.core.pfi import PfiAnalysis
+from repro.core.selection import SelectedInputs
+from repro.games.base import OutputCategory
+from repro.units import format_bytes
+
+
+@dataclass(frozen=True)
+class FieldVerdict:
+    """One input location's fate in the selection."""
+
+    name: str
+    category: str
+    nbytes: int
+    importance: float
+    kept: bool
+
+
+@dataclass
+class DeveloperReport:
+    """The per-event-type feedback shipped to the app developers."""
+
+    game_name: str
+    verdicts: Dict[EventType, List[FieldVerdict]]
+    temp_output_fields: Dict[EventType, List[str]]
+
+    def kept_fields(self, event_type: EventType) -> List[FieldVerdict]:
+        """The necessary inputs for one handler."""
+        return [v for v in self.verdicts.get(event_type, []) if v.kept]
+
+    def dropped_fields(self, event_type: EventType) -> List[FieldVerdict]:
+        """The trimmed inputs for one handler (review candidates)."""
+        return [v for v in self.verdicts.get(event_type, []) if not v.kept]
+
+    def to_text(self) -> str:
+        """Render the full report."""
+        sections = [f"Developer report for {self.game_name!r}"]
+        for event_type in sorted(self.verdicts, key=lambda t: t.value):
+            rows = [
+                [
+                    "KEEP" if verdict.kept else "drop",
+                    verdict.name,
+                    verdict.category,
+                    format_bytes(verdict.nbytes),
+                    pct(verdict.importance, 2),
+                ]
+                for verdict in sorted(
+                    self.verdicts[event_type],
+                    key=lambda v: (not v.kept, -v.importance),
+                )
+            ]
+            table = render_table(
+                ["verdict", "input location", "category", "width", "importance"],
+                rows,
+            )
+            temps = self.temp_output_fields.get(event_type, [])
+            temp_note = (
+                "out.temp candidates for error tolerance: " + ", ".join(temps)
+                if temps
+                else "no out.temp outputs observed"
+            )
+            sections.append(
+                f"\n== handler: {event_type.value} ==\n{table}\n{temp_note}"
+            )
+        return "\n".join(sections)
+
+
+def build_developer_report(
+    game_name: str,
+    analysis: PfiAnalysis,
+    selection: SelectedInputs,
+) -> DeveloperReport:
+    """Assemble the Option-1 feedback from an analysis + selection."""
+    verdicts: Dict[EventType, List[FieldVerdict]] = {}
+    temp_fields: Dict[EventType, List[str]] = {}
+    for event_type, profile in analysis.profiles.items():
+        kept_names = {
+            info.name for info in selection.fields_for(event_type)
+        }
+        importance_of = {
+            imp.name: imp.importance for imp in analysis.importances[event_type]
+        }
+        verdicts[event_type] = [
+            FieldVerdict(
+                name=info.name,
+                category=info.category.value,
+                nbytes=info.nbytes,
+                importance=importance_of.get(info.name, 0.0),
+                kept=info.name in kept_names,
+            )
+            for info in profile.universe
+        ]
+        seen_temp: List[str] = []
+        for record in profile.records:
+            for write in record.trace.writes_in(OutputCategory.TEMP):
+                if write.name not in seen_temp:
+                    seen_temp.append(write.name)
+        temp_fields[event_type] = seen_temp
+    return DeveloperReport(
+        game_name=game_name, verdicts=verdicts, temp_output_fields=temp_fields
+    )

@@ -1,0 +1,191 @@
+"""Federated table building (paper Sec. VII-C future direction).
+
+The paper's backend is expensive — "processing 2 minutes game play ...
+could take around 2 days" on a 48-core server — and it names federated
+learning [45] as the way out. This module implements that direction for
+the lookup-table half of the pipeline:
+
+* each **device** replays its own sessions locally against the shipped
+  necessary-input selection and uploads only *sufficient statistics*
+  per key (output-signature weights, occurrence counts, average cycles)
+  — never raw events;
+* the **cloud** merges contributions from many users and re-derives the
+  confidence-gated table, with cross-*user* support standing in for the
+  cross-session gate.
+
+Collective learning falls out for free: a context only one user ever
+reaches still ships to everyone once enough of that user's sessions
+agree, and popular contexts are confirmed across the whole fleet.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.android.emulator import Emulator
+from repro.android.events import EventType
+from repro.android.tracing import RecordedTrace
+from repro.core.config import SnipConfig
+from repro.core.selection import SelectedInputs
+from repro.core.table import SnipTable, TableEntry
+from repro.errors import ProfilerError
+from repro.games.base import FieldWrite
+from repro.games.registry import GAME_CONTENT_SEED, create_game
+
+#: (event_type, key) — the federated aggregation unit.
+Slot = Tuple[EventType, Tuple]
+
+#: A key confirmed by this many distinct devices ships without needing
+#: to clear the per-device occurrence gate.
+MIN_CONFIRMING_DEVICES = 2
+
+
+@dataclass
+class DeviceContribution:
+    """One device's uploaded statistics (no raw events).
+
+    ``signature_weight`` carries cycle-weighted output votes per key;
+    ``writes`` carries the concrete output record for each signature the
+    device observed (needed once, fleet-wide, to materialise entries).
+    """
+
+    device_id: int
+    game_name: str
+    events_observed: int = 0
+    signature_weight: Dict[Slot, Counter] = field(default_factory=dict)
+    occurrences: Dict[Slot, int] = field(default_factory=dict)
+    cycle_sums: Dict[Slot, float] = field(default_factory=dict)
+    writes: Dict[Tuple, Tuple[FieldWrite, ...]] = field(default_factory=dict)
+
+    @property
+    def upload_bytes(self) -> int:
+        """Rough uplink size: keys, votes, and counters."""
+        total = 0
+        for (event_type, key), votes in self.signature_weight.items():
+            total += 8 * len(key) + 24 * len(votes) + 16
+        return total
+
+
+def build_device_contribution(
+    device_id: int,
+    game_name: str,
+    traces: Sequence[RecordedTrace],
+    selection: SelectedInputs,
+) -> DeviceContribution:
+    """Device-side pass: replay own sessions, emit statistics.
+
+    The replay runs on the phone (it is the same deterministic app), so
+    the cloud's emulation cost disappears — the paper's stated goal for
+    the federated direction.
+    """
+    if not traces:
+        raise ProfilerError(f"device {device_id}: no sessions to contribute")
+    contribution = DeviceContribution(device_id=device_id, game_name=game_name)
+    emulator = Emulator(verify=False)
+    for session, trace in enumerate(traces):
+        game = create_game(game_name, seed=GAME_CONTENT_SEED)
+        for record in emulator.replay(game, trace, session=session):
+            if record.event_type not in selection.by_event_type:
+                continue
+            fields = selection.fields_for(record.event_type)
+            key = SnipTable.key_for_record(record, fields)
+            slot: Slot = (record.event_type, key)
+            signature = record.trace.output_signature()
+            contribution.signature_weight.setdefault(slot, Counter())[
+                signature
+            ] += record.trace.total_cycles
+            contribution.occurrences[slot] = contribution.occurrences.get(slot, 0) + 1
+            contribution.cycle_sums[slot] = (
+                contribution.cycle_sums.get(slot, 0.0) + record.trace.total_cycles
+            )
+            contribution.writes.setdefault(signature, tuple(record.trace.writes))
+            contribution.events_observed += 1
+    return contribution
+
+
+class FederatedAggregator:
+    """Cloud-side merge: many devices' statistics -> one gated table."""
+
+    def __init__(self, selection: SelectedInputs, config: SnipConfig) -> None:
+        self.selection = selection
+        self.config = config
+        self._votes: Dict[Slot, Counter] = defaultdict(Counter)
+        self._devices: Dict[Slot, set] = defaultdict(set)
+        self._occurrences: Dict[Slot, int] = defaultdict(int)
+        self._cycle_sums: Dict[Slot, float] = defaultdict(float)
+        self._writes: Dict[Tuple, Tuple[FieldWrite, ...]] = {}
+        self._contributions = 0
+
+    @property
+    def contribution_count(self) -> int:
+        """How many device uploads have been merged."""
+        return self._contributions
+
+    def merge(self, contribution: DeviceContribution) -> None:
+        """Fold one device's statistics into the fleet aggregate."""
+        for slot, votes in contribution.signature_weight.items():
+            self._votes[slot].update(votes)
+            self._devices[slot].add(contribution.device_id)
+            self._occurrences[slot] += contribution.occurrences[slot]
+            self._cycle_sums[slot] += contribution.cycle_sums[slot]
+        for signature, writes in contribution.writes.items():
+            self._writes.setdefault(signature, writes)
+        self._contributions += 1
+
+    def build_table(self) -> SnipTable:
+        """Materialise the gated table from the fleet aggregate.
+
+        The support gate counts distinct *devices* when more than one
+        contributed, otherwise raw occurrences — the federated analogue
+        of the per-profile session gate.
+        """
+        if not self._votes:
+            raise ProfilerError("no contributions merged yet")
+        multi_device = (
+            len({d for devices in self._devices.values() for d in devices}) >= 2
+        )
+        table = SnipTable(self.selection)
+        for slot, votes in self._votes.items():
+            if multi_device and len(self._devices[slot]) >= MIN_CONFIRMING_DEVICES:
+                pass  # fleet-confirmed context
+            elif self._occurrences[slot] < self.config.table_min_count:
+                continue
+            majority_signature, majority_weight = votes.most_common(1)[0]
+            group_weight = sum(votes.values())
+            if majority_weight / group_weight < self.config.table_consistency:
+                continue
+            event_type, key = slot
+            table.install_entry(
+                event_type,
+                key,
+                TableEntry(
+                    writes=self._writes[majority_signature],
+                    avg_cycles=self._cycle_sums[slot] / self._occurrences[slot],
+                    profile_weight=float(majority_weight),
+                ),
+            )
+        return table
+
+
+def federate(
+    game_name: str,
+    per_device_traces: Dict[int, List[RecordedTrace]],
+    selection: SelectedInputs,
+    config: SnipConfig,
+) -> Tuple[SnipTable, int]:
+    """End-to-end federation: devices compute, cloud merges.
+
+    Returns the fleet table and the total uplink bytes (the quantity the
+    federated design minimises against shipping raw profiles).
+    """
+    aggregator = FederatedAggregator(selection, config)
+    uplink = 0
+    for device_id, traces in per_device_traces.items():
+        contribution = build_device_contribution(
+            device_id, game_name, traces, selection
+        )
+        uplink += contribution.upload_bytes
+        aggregator.merge(contribution)
+    return aggregator.build_table(), uplink

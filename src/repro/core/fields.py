@@ -1,0 +1,115 @@
+"""Input-location schema over profile records.
+
+The lookup-table approaches all start from the same question: *what are
+the input locations of this event type's processing?* (Paper Sec. III:
+"the union of all the input locations".) This module derives that
+universe from a replayed profile:
+
+* ``event:<field>`` — every schema field of the event type (In.Event);
+* ``hist:<field>`` — every game-state location, sized at its maximum
+  observed byte width (In.History);
+* ``extern:<key>`` — every external asset key seen (In.Extern).
+
+and extracts, per record, the value at every location (the full-record
+view a naive table would have to store).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.android.emulator import ProfileRecord
+from repro.android.events import EventType, schema_for
+from repro.games.base import InputCategory
+
+
+@dataclass(frozen=True)
+class FieldInfo:
+    """One input location: name, paper category, byte width."""
+
+    name: str
+    category: InputCategory
+    nbytes: int
+
+
+def records_by_event_type(
+    records: Iterable[ProfileRecord],
+) -> Dict[EventType, List[ProfileRecord]]:
+    """Group a profile by event type (tables are built per type)."""
+    grouped: Dict[EventType, List[ProfileRecord]] = defaultdict(list)
+    for record in records:
+        grouped[record.event_type].append(record)
+    return dict(grouped)
+
+
+def input_universe(
+    event_type: EventType, records: Sequence[ProfileRecord]
+) -> List[FieldInfo]:
+    """The union of all input locations for one event type's records."""
+    if not records:
+        raise ValueError(f"no records for event type {event_type}")
+    universe: List[FieldInfo] = []
+    schema = schema_for(event_type)
+    for spec in schema.fields:
+        universe.append(
+            FieldInfo(
+                name=f"event:{spec.name}",
+                category=InputCategory.EVENT,
+                nbytes=spec.nbytes,
+            )
+        )
+    history_sizes: Dict[str, int] = {}
+    extern_sizes: Dict[str, int] = {}
+    for record in records:
+        for name, (_, nbytes) in record.state_snapshot:
+            history_sizes[name] = max(history_sizes.get(name, 0), nbytes)
+        for key, (_, nbytes) in record.extern_reads:
+            extern_sizes[key] = max(extern_sizes.get(key, 0), nbytes)
+    for name in sorted(history_sizes):
+        universe.append(
+            FieldInfo(
+                name=f"hist:{name}",
+                category=InputCategory.HISTORY,
+                nbytes=history_sizes[name],
+            )
+        )
+    for key in sorted(extern_sizes):
+        universe.append(
+            FieldInfo(
+                name=f"extern:{key}",
+                category=InputCategory.EXTERN,
+                nbytes=extern_sizes[key],
+            )
+        )
+    return universe
+
+
+def record_inputs(record: ProfileRecord) -> Dict[str, Any]:
+    """The value at every input location for one record.
+
+    Locations absent from this record (extern keys it did not fetch)
+    are simply missing from the dict; encoders map them to a sentinel.
+    """
+    inputs: Dict[str, Any] = {}
+    for name, value in record.event_values:
+        inputs[f"event:{name}"] = value
+    for name, (value, _) in record.state_snapshot:
+        inputs[f"hist:{name}"] = value
+    for key, (value, _) in record.extern_reads:
+        inputs[f"extern:{key}"] = value
+    return inputs
+
+
+def universe_bytes(universe: Sequence[FieldInfo]) -> int:
+    """Total bytes of one full input record over the universe."""
+    return sum(info.nbytes for info in universe)
+
+
+def category_bytes(universe: Sequence[FieldInfo]) -> Dict[InputCategory, int]:
+    """Record bytes broken down by input category."""
+    totals: Dict[InputCategory, int] = {category: 0 for category in InputCategory}
+    for info in universe:
+        totals[info.category] += info.nbytes
+    return totals

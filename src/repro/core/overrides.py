@@ -1,0 +1,44 @@
+"""Developer override hooks (paper Sec. V-B, Option 1).
+
+During app testing, developers can look at the necessary inputs PFI
+proposes and (i) force-include input fields PFI must never trim, and
+(ii) mark the app's temporary outputs as error-tolerant, letting the
+selection accept a subset that occasionally glitches an ``Out.Temp``
+field while never corrupting history/extern outputs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.android.events import EventType
+
+
+@dataclass
+class DeveloperOverrides:
+    """Developer-supplied constraints on necessary-input selection."""
+
+    #: Fields that must stay in the table key for a given event type.
+    forced_fields: Dict[EventType, Set[str]] = field(
+        default_factory=lambda: defaultdict(set)
+    )
+    #: Fields forced for *every* event type (e.g. ``hist:score``).
+    forced_everywhere: Set[str] = field(default_factory=set)
+    #: Whether Out.Temp mismatches are acceptable (Sec. IV-B argument).
+    tolerate_temp_errors: bool = False
+
+    def force(self, field_name: str, event_type: Optional[EventType] = None) -> None:
+        """Mark a field as never-trimmable."""
+        if event_type is None:
+            self.forced_everywhere.add(field_name)
+        else:
+            self.forced_fields[event_type].add(field_name)
+
+    def is_forced(self, event_type: EventType, field_name: str) -> bool:
+        """Whether selection must keep this field for this event type."""
+        return (
+            field_name in self.forced_everywhere
+            or field_name in self.forced_fields.get(event_type, set())
+        )

@@ -1,0 +1,151 @@
+"""Runtime quality control (paper Sec. VII-B, closing paragraphs).
+
+The paper sketches two safety valves beyond continuous learning: the
+profiler "can direct the mobile phone to *clear* the PFI lookup table if
+it detects the error rate to worsen", and user feedback on execution
+quality can "even *turn off* SNIP". :class:`QualityController`
+implements both around a live :class:`~repro.core.runtime.SnipRuntime`:
+
+* it audits a sample of would-be hits against ground truth (the paper's
+  cloud would do this by replaying uploaded events), maintaining a
+  rolling error estimate;
+* if the estimate crosses ``clear_threshold`` the table is cleared and
+  online learning restarts from scratch;
+* if quality stays bad after ``max_clears`` resets — or enough explicit
+  user complaints arrive — SNIP is disabled outright.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+from repro.android.events import Event
+from repro.core.runtime import SnipRuntime
+from repro.rng import ReproRng
+
+
+@dataclass
+class QualityReport:
+    """The controller's current view of runtime health."""
+
+    audited_hits: int
+    audit_errors: int
+    rolling_error: float
+    clears: int
+    complaints: int
+    snip_enabled: bool
+
+
+class QualityController:
+    """Audits a SNIP runtime and pulls the safety levers.
+
+    Parameters
+    ----------
+    runtime:
+        The live runtime to supervise.
+    audit_rate:
+        Probability of auditing any given hit (audits are not free on a
+        real device; sampling keeps the cost negligible).
+    window:
+        Number of recent audits in the rolling error estimate.
+    clear_threshold:
+        Rolling error above which the table is cleared.
+    max_clears:
+        After this many clears, further bad quality disables SNIP.
+    complaint_limit:
+        Explicit user complaints that disable SNIP outright.
+    """
+
+    def __init__(
+        self,
+        runtime: SnipRuntime,
+        audit_rate: float = 0.05,
+        window: int = 50,
+        clear_threshold: float = 0.10,
+        max_clears: int = 2,
+        complaint_limit: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < audit_rate <= 1.0:
+            raise ValueError(f"audit_rate out of (0, 1]: {audit_rate}")
+        if window < 5:
+            raise ValueError(f"window too small: {window}")
+        if not 0.0 < clear_threshold < 1.0:
+            raise ValueError(f"clear_threshold out of (0, 1): {clear_threshold}")
+        self.runtime = runtime
+        self.audit_rate = audit_rate
+        self.window = window
+        self.clear_threshold = clear_threshold
+        self.max_clears = max_clears
+        self.complaint_limit = complaint_limit
+        self._rng = ReproRng(seed).fork("quality")
+        self._recent: Deque[bool] = deque(maxlen=window)
+        self._audited = 0
+        self._errors = 0
+        self._clears = 0
+        self._complaints = 0
+
+    # -- delivery wrapper ---------------------------------------------------
+
+    def deliver(self, event: Event) -> None:
+        """Deliver one event, sampling audits on would-be hits."""
+        if (
+            self.runtime.enabled
+            and self._rng.chance(self.audit_rate)
+            and self.runtime.table.knows(event.event_type)
+        ):
+            verdict = self.runtime.would_be_correct(event)
+            if verdict is not None:
+                self._record_audit(correct=verdict)
+        self.runtime.deliver(event)
+
+    def _record_audit(self, correct: bool) -> None:
+        self._audited += 1
+        if not correct:
+            self._errors += 1
+        self._recent.append(correct)
+        if len(self._recent) >= max(10, self.window // 5):
+            if self.rolling_error > self.clear_threshold:
+                self._escalate()
+
+    def _escalate(self) -> None:
+        """Worsening error: clear the table, or give up entirely."""
+        self._recent.clear()
+        if self._clears >= self.max_clears:
+            self.runtime.enabled = False
+            return
+        self.runtime.table.clear()
+        self._clears += 1
+
+    # -- user feedback ---------------------------------------------------------
+
+    def user_feedback(self, satisfied: bool) -> None:
+        """Record explicit user feedback on execution quality."""
+        if satisfied:
+            self._complaints = max(0, self._complaints - 1)
+            return
+        self._complaints += 1
+        if self._complaints >= self.complaint_limit:
+            self.runtime.enabled = False
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def rolling_error(self) -> float:
+        """Error rate over the recent audit window."""
+        if not self._recent:
+            return 0.0
+        return 1.0 - sum(self._recent) / len(self._recent)
+
+    def report(self) -> QualityReport:
+        """Snapshot of the controller's counters."""
+        return QualityReport(
+            audited_hits=self._audited,
+            audit_errors=self._errors,
+            rolling_error=self.rolling_error,
+            clears=self._clears,
+            complaints=self._complaints,
+            snip_enabled=self.runtime.enabled,
+        )

@@ -1,0 +1,234 @@
+"""SNIP device runtime: probe the table, short-circuit or execute.
+
+Sec. V-B, last stage: "the lookup table is loaded as a hash table during
+app initialization. During execution, on any event, the table is indexed
+with the event hash-code and if hit, all the other necessary inputs are
+loaded and compared ... If the comparisons lead to a match, the
+execution is directly short-circuited. Else, process the event as
+baseline."
+
+The probe is not free (Fig. 11c): every event pays the hash plus a
+comparison over the necessary-input bytes, charged under the
+``lookup`` energy tag so the overhead analysis can slice it out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.android.binder import Binder
+from repro.android.dispatch import charge_delivery, charge_trace, charge_upkeep
+from repro.android.events import Event, EventType
+from repro.android.sensor_hub import SensorHub
+from repro.android.sensor_manager import SensorManager
+from repro.core.config import SnipConfig
+from repro.core.fields import FieldInfo
+from repro.core.table import SnipTable
+from repro.games.base import Game, ProcessingTrace
+from repro.soc.energy import TAG_LOOKUP
+from repro.soc.soc import IP_DISPLAY, Soc
+
+
+@dataclass
+class _OnlineEntry:
+    """A key being confirmed by on-device continuous learning."""
+
+    signature: Tuple
+    writes: Tuple
+    consecutive: int
+    cycles_sum: float
+    occurrences: int
+
+
+@dataclass
+class RuntimeStats:
+    """Counters the Fig. 11 analyses read off the runtime."""
+
+    events: int = 0
+    hits: int = 0
+    misses: int = 0
+    online_promotions: int = 0
+    evictions: int = 0
+    avoided_cycles: float = 0.0
+    executed_cycles: float = 0.0
+    compared_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of events short-circuited."""
+        return self.hits / self.events if self.events else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Cycle-weighted fraction of execution short-circuited."""
+        total = self.avoided_cycles + self.executed_cycles
+        return self.avoided_cycles / total if total else 0.0
+
+
+class SnipRuntime:
+    """Event loop with SNIP short-circuiting installed."""
+
+    def __init__(
+        self,
+        soc: Soc,
+        game: Game,
+        table: SnipTable,
+        config: Optional[SnipConfig] = None,
+    ) -> None:
+        self.soc = soc
+        self.game = game
+        self.table = table
+        self.config = config or SnipConfig()
+        self.hub = SensorHub(soc)
+        self.manager = SensorManager(soc)
+        self.binder = Binder(soc)
+        self.stats = RuntimeStats()
+        self._online: dict = {}
+        #: Kill switch (Sec. VII-B): when False every event takes the
+        #: baseline path; probes, hits, and online learning all stop.
+        self.enabled = True
+
+    # -- key gathering -----------------------------------------------------
+
+    def live_key(self, event: Event) -> Tuple:
+        """Current values of the necessary inputs for ``event``.
+
+        Event fields come from the event object; history fields are the
+        game's live state; extern fields read the RAM-cached copy of the
+        last fetched asset.
+        """
+        key = []
+        for info in self.table.fields_for(event.event_type):
+            key.append(self._live_value(event, info))
+        return tuple(key)
+
+    def _live_value(self, event: Event, info: FieldInfo):
+        kind, _, name = info.name.partition(":")
+        if kind == "event":
+            return event.values.get(name)
+        if kind == "hist":
+            if self.game.state.has(name):
+                return self.game.state.peek(name)
+            return None
+        if kind == "extern":
+            return self.game.extern_source.peek(name)[0]
+        raise ValueError(f"unknown field kind in {info.name!r}")  # pragma: no cover
+
+    # -- probe cost ----------------------------------------------------------
+
+    def _charge_probe(self, event: Event) -> int:
+        """Charge the table probe for one event; returns bytes compared."""
+        compare_bytes = self.table.comparison_bytes(event.event_type)
+        cycles = (
+            self.config.lookup_base_cycles
+            + self.config.lookup_cycles_per_byte * compare_bytes
+        )
+        self.soc.cpu.execute(cycles, big=True, tag=TAG_LOOKUP)
+        # The entry and the live inputs both cross memory once.
+        self.soc.memory.transfer(2 * compare_bytes, tag=TAG_LOOKUP)
+        return compare_bytes
+
+    # -- event loop -------------------------------------------------------------
+
+    def deliver(self, event: Event) -> Optional[ProcessingTrace]:
+        """Run one event; returns the trace, or ``None`` when snipped."""
+        charge_delivery(self.soc, self.hub, self.manager, self.binder, event)
+        self.stats.executed_cycles += charge_upkeep(self.soc, self.game, event)
+        self.stats.events += 1
+        if self.enabled and self.table.knows(event.event_type):
+            self.stats.compared_bytes += self._charge_probe(event)
+            entry = self.table.lookup(event.event_type, self.live_key(event))
+            if entry is not None:
+                # Hit: substitute the stored outputs, skip all processing.
+                # The panel still scans out this vsync/camera frame —
+                # only producing new pixels was avoided.
+                if event.event_type in (EventType.FRAME_TICK, EventType.CAMERA_FRAME):
+                    self.soc.ip(IP_DISPLAY).invoke(1.0, bytes_in=512 * 1024)
+                self.game.apply_outputs(entry.writes)
+                applied_bytes = sum(write.nbytes for write in entry.writes)
+                if applied_bytes:
+                    self.soc.memory.transfer(applied_bytes, tag=TAG_LOOKUP)
+                self.stats.hits += 1
+                self.stats.avoided_cycles += entry.avg_cycles
+                return None
+        trace = self.game.process(event)
+        charge_trace(self.soc, trace)
+        self.stats.misses += 1
+        self.stats.executed_cycles += trace.total_cycles
+        if (
+            self.enabled
+            and self.config.online_warmup > 0
+            and self.table.knows(event.event_type)
+        ):
+            self._learn_online(event, trace)
+        return trace
+
+    def _learn_online(self, event: Event, trace: ProcessingTrace) -> None:
+        """Continuous learning, Option 2 at its finest granularity.
+
+        Every miss contributes evidence for its necessary-input key; a
+        key whose outputs agree ``config.online_warmup`` times in a row
+        is promoted to a live table entry. The necessary inputs (what
+        to key on) still come from the cloud's PFI — this loop only
+        fills values the shipped profile had not seen.
+        """
+        key = self.live_key(event)
+        signature = trace.output_signature()
+        slot = (event.event_type, key)
+        entry = self._online.get(slot)
+        if entry is None or entry.signature != signature:
+            self._online[slot] = _OnlineEntry(
+                signature=signature,
+                writes=tuple(trace.writes),
+                consecutive=1,
+                cycles_sum=float(trace.total_cycles),
+                occurrences=1,
+            )
+            return
+        entry.consecutive += 1
+        entry.occurrences += 1
+        entry.cycles_sum += trace.total_cycles
+        if entry.consecutive >= self.config.online_warmup:
+            from repro.core.table import TableEntry
+
+            capacity = self.config.table_capacity_entries
+            if capacity and self.table.entry_count >= capacity:
+                # The device table is full: make room by evicting the
+                # lowest-confidence entry (a phone cannot grow its hash
+                # table without bound).
+                self.table.evict_weakest()
+                self.stats.evictions += 1
+            self.table.install_entry(
+                event.event_type,
+                key,
+                TableEntry(
+                    writes=entry.writes,
+                    avg_cycles=entry.cycles_sum / entry.occurrences,
+                    profile_weight=entry.cycles_sum,
+                ),
+            )
+            self.stats.online_promotions += 1
+            del self._online[slot]
+
+    # -- offline correctness evaluation ------------------------------------------
+
+    def would_be_correct(self, event: Event) -> Optional[bool]:
+        """Whether a hit on ``event`` would reproduce the true outputs.
+
+        Evaluation-only helper: processes the event on a *fresh clone*
+        of the live state so neither path pollutes the session. Returns
+        ``None`` on a miss (nothing would be substituted).
+        """
+        entry = self.table.lookup(event.event_type, self.live_key(event))
+        if entry is None:
+            return None
+        shadow = self.game.fresh()
+        # Recreate the live state on the shadow instance.
+        for field in self.game.state:
+            shadow.state.write(field.name, field.value, nbytes=field.nbytes)
+        shadow.screen.update(self.game.screen)
+        truth = shadow.process(event)
+        predicted = {write.name: write.value for write in entry.writes}
+        actual = {write.name: write.value for write in truth.writes}
+        return predicted == actual

@@ -1,0 +1,44 @@
+"""Game workloads: framework plus the seven evaluated games.
+
+Games are deterministic event-driven programs written against
+:class:`~repro.games.base.HandlerContext`; see :mod:`repro.games.base`
+for the execution/tracing contract and :mod:`repro.games.registry` for
+the catalogue.
+"""
+
+from repro.games.base import (
+    CpuFuncCall,
+    ExternSource,
+    FieldRead,
+    FieldWrite,
+    Game,
+    HandlerContext,
+    InputCategory,
+    IpCall,
+    OutputCategory,
+    ProcessingTrace,
+    mix_values,
+)
+from repro.games.registry import GAME_NAMES, GAMES, GameInfo, create_game, game_info
+from repro.games.state import StateField, StateStore
+
+__all__ = [
+    "CpuFuncCall",
+    "ExternSource",
+    "FieldRead",
+    "FieldWrite",
+    "GAME_NAMES",
+    "GAMES",
+    "Game",
+    "GameInfo",
+    "HandlerContext",
+    "InputCategory",
+    "IpCall",
+    "OutputCategory",
+    "ProcessingTrace",
+    "StateField",
+    "StateStore",
+    "create_game",
+    "game_info",
+    "mix_values",
+]

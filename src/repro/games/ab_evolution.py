@@ -1,0 +1,224 @@
+"""AB Evolution: catapult physics game (Angry Birds Evolution [15]).
+
+The paper's running example and the subject of Figs. 6-9. The player
+drags to stretch a catapult and flings a bird at targets; a 3D scene is
+re-rendered continuously. Two structural properties drive its extreme
+43% useless-event rate (Fig. 4): once the catapult is at maximum
+stretch, further drag events change nothing, and all drag/fling input is
+ignored while a bird is in flight.
+
+The level layout blob grows with level richness up to ~119 kB, giving
+the wide ``In.History`` size spread of Fig. 7a, and level-ups fetch a
+~1 MB asset bundle (``In.Extern``).
+"""
+
+from __future__ import annotations
+
+from repro.android.events import EventType
+from repro.games.base import Game, HandlerContext, mix_values
+from repro.games.common import haptic_buzz, physics_step, play_sound, render_frame
+
+MAX_STRETCH = 100
+MIN_LAUNCH_STRETCH = 10
+FLIGHT_TICKS = 30
+TARGETS = 10
+ANGLE_BUCKETS = 16
+BIRDS_PER_LEVEL = 5
+#: Pause button hit box (top-left corner), deliberately small.
+MENU_W = 200
+MENU_H = 200
+
+
+def layout_bytes(level: int) -> int:
+    """Level layout size: richer levels carry bigger scene graphs."""
+    return min(119_000, 2_048 + 6_000 * (level - 1))
+
+
+class AbEvolution(Game):
+    """Catapult game with drag-to-stretch, fling-to-launch mechanics."""
+
+    name = "ab_evolution"
+    handled_event_types = (
+        EventType.MULTI_TOUCH,
+        EventType.SWIPE,
+        EventType.TOUCH,
+        EventType.FRAME_TICK,
+    )
+    upkeep_ip_units = {EventType.FRAME_TICK: {"gpu": 11.0}}
+    upkeep_cycles = {
+        EventType.FRAME_TICK: 8_000_000,
+        EventType.MULTI_TOUCH: 600_000,
+        EventType.SWIPE: 400_000,
+        EventType.TOUCH: 100_000,
+    }
+
+    def build_state(self) -> None:
+        self.state.declare("stretch", 0, 2)
+        self.state.declare("angle", 8, 1)
+        self.state.declare("bird_idx", 0, 1)
+        self.state.declare("birds_left", BIRDS_PER_LEVEL, 1)
+        self.state.declare("targets", (1 << TARGETS) - 1, 2)
+        self.state.declare("level", 1, 1)
+        self.state.declare("level_layout", self.seed & 0xFFFF, layout_bytes(1))
+        self.state.declare("flight", 0, 1)
+        self.state.declare("flight_seed", 0, 4)
+        self.state.declare("score", 0, 4)
+        self.state.declare("wind", self.seed % 16, 1)
+        self.state.declare("menu_open", 0, 1)
+        # HUD sprite atlas: consulted by every frame composition; its
+        # ~600 B descriptor is the floor of the In.History size spread
+        # (paper Fig. 7a).
+        self.state.declare("hud_atlas", self.seed & 0xFF, 640)
+
+    def on_event(self, ctx: HandlerContext) -> None:
+        event_type = ctx.trace.event_type
+        if event_type is EventType.MULTI_TOUCH:
+            self._on_drag(ctx)
+        elif event_type is EventType.SWIPE:
+            self._on_fling(ctx)
+        elif event_type is EventType.TOUCH:
+            self._on_touch(ctx)
+        else:
+            self._on_tick(ctx)
+
+    # -- gesture handlers -------------------------------------------------
+
+    def _on_drag(self, ctx: HandlerContext) -> None:
+        gesture = ctx.ev("gesture")
+        magnitude = ctx.ev("magnitude")
+        ctx.cpu(60_000)  # multi-touch tracking glue
+        if gesture != 0:
+            return  # pinch/spread: camera zoom disabled mid-level
+        if ctx.hist("flight") > 0:
+            return  # bird airborne: catapult input locked
+        stretch = ctx.hist("stretch")
+        new_stretch = max(0, min(MAX_STRETCH, stretch + int(magnitude)))
+        # The game recomputes the catapult pose and redraws on every
+        # drag sample — including drags past max stretch, where all of
+        # this work reproduces the exact same outputs (Fig. 4's 43%).
+        bird = ctx.hist("bird_idx")
+        ctx.cpu_func("catapult_pose", (new_stretch, bird), 2_200_000)
+        ctx.out_hist("stretch", new_stretch)
+        # Only the catapult sprite layer (including the loaded bird's
+        # cosmetic skin) is re-drawn per drag sample; the full frame is
+        # composed on the next vsync tick.
+        ctx.ip("gpu", 1.6, bytes_in=128 * 1024,
+               key=("catapult", new_stretch, bird))
+        ctx.out_temp("catapult", (new_stretch, bird), 32)
+        # Trajectory preview arc: pure cosmetics, but wind-dependent.
+        wind = ctx.hist("wind")
+        ctx.out_temp("aim_guide", (new_stretch, wind), 24)
+
+    def _on_fling(self, ctx: HandlerContext) -> None:
+        direction = ctx.ev("direction")
+        velocity = ctx.ev("velocity")
+        ctx.cpu(70_000)
+        if ctx.hist("flight") > 0:
+            return  # already airborne
+        stretch = ctx.hist("stretch")
+        if stretch < MIN_LAUNCH_STRETCH:
+            if stretch == 0:
+                return  # limp fling with slack catapult: no effect
+            ctx.out_hist("stretch", 0)  # catapult snaps back
+            haptic_buzz(ctx, pattern=4)
+            return
+        # The release gesture sets the launch direction.
+        angle = self._aim_bucket(ctx, direction, int(velocity))
+        ctx.out_hist("angle", angle)
+        wind = ctx.hist("wind")
+        bird = ctx.hist("bird_idx")
+        birds_left = ctx.hist("birds_left")
+        seed = mix_values("flight", stretch, angle, wind, bird, int(velocity) // 200)
+        physics_step(ctx, key=(stretch, angle, wind, bird), cpu_cycles=6_000_000,
+                     dsp_units=2.0)
+        ctx.out_hist("flight", FLIGHT_TICKS)
+        ctx.out_hist("flight_seed", seed & 0xFFFFFFFF)
+        ctx.out_hist("stretch", 0)
+        ctx.out_hist("birds_left", birds_left - 1)
+        ctx.out_hist("bird_idx", (bird + 1) % 3)
+        play_sound(ctx, sound_id=21)
+
+    def _on_touch(self, ctx: HandlerContext) -> None:
+        action = ctx.ev("action")
+        x = ctx.ev("x")
+        y = ctx.ev("y")
+        ctx.cpu(25_000)
+        if action != 0:
+            return
+        if x < MENU_W and y < MENU_H:
+            menu = ctx.hist("menu_open")
+            ctx.out_hist("menu_open", 1 - menu)
+            play_sound(ctx, sound_id=2)
+        # Taps anywhere else do nothing mid-level.
+
+    # -- frame loop ---------------------------------------------------------
+
+    def _on_tick(self, ctx: HandlerContext) -> None:
+        slot = ctx.ev("slot")
+        flight = ctx.hist("flight")
+        ctx.cpu(1_000_000)
+        if flight > 0:
+            self._flight_tick(ctx, flight)
+            return
+        level = ctx.hist("level")
+        stretch = ctx.hist("stretch")
+        angle = ctx.hist("angle")
+        targets = ctx.hist("targets")
+        menu = ctx.hist("menu_open")
+        hud = ctx.hist("hud_atlas")
+        content = mix_values("idle", level, stretch, angle, targets, menu, hud,
+                             slot)
+        render_frame(ctx, content & 0xFFFFFFFF, gpu_units=9.0, compose_cycles=10_000_000)
+
+    def _flight_tick(self, ctx: HandlerContext, flight: int) -> None:
+        seed = ctx.hist("flight_seed")
+        ctx.hist("hud_atlas")  # the HUD overlay rides every frame
+        tick_pos = FLIGHT_TICKS - flight
+        physics_step(ctx, key=(seed, tick_pos), cpu_cycles=4_000_000, dsp_units=1.5)
+        content = mix_values("trajectory", seed, tick_pos) & 0xFFFFFFFF
+        render_frame(ctx, content, gpu_units=12.0, compose_cycles=7_000_000)
+        remaining = flight - 1
+        ctx.out_hist("flight", remaining)
+        if remaining > 0:
+            return
+        self._impact(ctx, seed)
+
+    def _impact(self, ctx: HandlerContext, seed: int) -> None:
+        """Bird lands: resolve destruction against the level layout."""
+        layout = ctx.hist("level_layout")  # the big In.History read
+        targets = ctx.hist("targets")
+        score = ctx.hist("score")
+        ctx.cpu_func("impact_solve", (seed, layout, targets), 5_000_000,
+                     reusable=False)
+        destroyed = 0
+        remaining_targets = targets
+        for strike in range(3):
+            candidate = mix_values("hit", seed, layout, strike) % TARGETS
+            bit = 1 << candidate
+            if remaining_targets & bit:
+                remaining_targets &= ~bit
+                destroyed += 1
+        ctx.out_hist("targets", remaining_targets)
+        if destroyed:
+            ctx.out_hist("score", score + 100 * destroyed)
+            play_sound(ctx, sound_id=22)
+            haptic_buzz(ctx, pattern=5)
+        if remaining_targets == 0 or ctx.hist("birds_left") == 0:
+            self._level_up(ctx)
+
+    def _level_up(self, ctx: HandlerContext) -> None:
+        level = ctx.hist("level")
+        theme = ctx.extern(f"level_bundle_{level + 1}")
+        ctx.out_hist("level", level + 1)
+        ctx.out_hist("level_layout", mix_values("layout", theme, level + 1) & 0xFFFF,
+                     nbytes=layout_bytes(level + 1))
+        ctx.out_hist("targets", (1 << TARGETS) - 1)
+        ctx.out_hist("birds_left", BIRDS_PER_LEVEL)
+        ctx.out_hist("wind", mix_values("wind", level + 1) % 16)
+        ctx.out_extern("level_complete", (level, ctx.hist("score")), 256)
+
+    def _aim_bucket(self, ctx: HandlerContext, direction: int, velocity: int) -> int:
+        """Quantised launch direction from the release gesture."""
+        velocity_band = velocity // 800
+        ctx.cpu_func("aim_bucket", (direction, velocity_band), 40_000)
+        return (direction * 2 + velocity_band) % ANGLE_BUCKETS

@@ -1,0 +1,192 @@
+"""Candy Crush: swipe-based match-three [31].
+
+An 8x8 board of five candy colours; a swipe swaps two adjacent candies
+and is only valid if it creates a line of three. Invalid swipes leave
+the board untouched — a large useless-event source — and between moves
+the board idles under a four-phase shimmer animation whose frames repeat
+endlessly, which is why the paper finds Candy Crush the *most*
+short-circuitable workload (61% of execution, Fig. 11b).
+
+Level changes pull a fresh asset bundle from the network: the rare,
+megabyte-sized ``In.Extern`` reads of Fig. 7a.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.android.events import EventType
+from repro.games.base import Game, HandlerContext, mix_values
+from repro.games.common import haptic_buzz, play_sound, render_frame
+
+SIZE = 8
+COLORS = 5
+CELL_PX = 1440 // SIZE
+#: Swipe octants (0=N .. 7=NW) mapped to board row/col deltas; diagonal
+#: octants snap to the nearest axis like the real game does.
+_OCTANT_DELTAS = {
+    0: (-1, 0), 1: (-1, 0), 2: (0, 1), 3: (1, 0),
+    4: (1, 0), 5: (1, 0), 6: (0, -1), 7: (-1, 0),
+}
+MOVES_PER_LEVEL = 24
+CASCADE_TICKS = 5
+
+
+def deal_board(seed: int) -> Tuple[int, ...]:
+    """Deterministic starting board with no pre-made matches.
+
+    Constructive fill: each cell avoids completing a line of three with
+    its two left and two upper neighbours, which with five colours is
+    always possible.
+    """
+    board = []
+    for index in range(SIZE * SIZE):
+        row, col = divmod(index, SIZE)
+        candidate = mix_values("cell", seed, index) % COLORS
+        for salt in range(COLORS):
+            candidate = (mix_values("cell", seed, index) + salt) % COLORS
+            row_match = (
+                col >= 2
+                and board[index - 1] == candidate
+                and board[index - 2] == candidate
+            )
+            col_match = (
+                row >= 2
+                and board[index - SIZE] == candidate
+                and board[index - 2 * SIZE] == candidate
+            )
+            if not row_match and not col_match:
+                break
+        board.append(candidate)
+    return tuple(board)
+
+
+def find_matches(board: Tuple[int, ...]) -> FrozenSet[int]:
+    """All cells participating in a horizontal/vertical line of >=3."""
+    hits = set()
+    for row in range(SIZE):
+        for col in range(SIZE - 2):
+            base = row * SIZE + col
+            if board[base] == board[base + 1] == board[base + 2]:
+                hits.update((base, base + 1, base + 2))
+    for col in range(SIZE):
+        for row in range(SIZE - 2):
+            base = row * SIZE + col
+            if board[base] == board[base + SIZE] == board[base + 2 * SIZE]:
+                hits.update((base, base + SIZE, base + 2 * SIZE))
+    return frozenset(hits)
+
+
+def collapse(board: Tuple[int, ...], removed: FrozenSet[int], fill_seed: int) -> Tuple[int, ...]:
+    """Drop candies into removed cells and refill deterministically."""
+    columns = []
+    for col in range(SIZE):
+        kept = [
+            board[row * SIZE + col]
+            for row in range(SIZE)
+            if row * SIZE + col not in removed
+        ]
+        missing = SIZE - len(kept)
+        fresh = [
+            mix_values("refill", fill_seed, col, slot) % COLORS for slot in range(missing)
+        ]
+        columns.append(fresh + kept)
+    out = [0] * (SIZE * SIZE)
+    for col in range(SIZE):
+        for row in range(SIZE):
+            out[row * SIZE + col] = columns[col][row]
+    return tuple(out)
+
+
+class CandyCrush(Game):
+    """Match-three with cascades, shimmer idle, and level asset pulls."""
+
+    name = "candy_crush"
+    handled_event_types = (EventType.SWIPE, EventType.FRAME_TICK)
+    upkeep_cycles = {EventType.FRAME_TICK: 4_000_000, EventType.SWIPE: 400_000}
+    upkeep_ip_units = {EventType.FRAME_TICK: {"gpu": 3.0}}
+
+    def build_state(self) -> None:
+        self.state.declare("board", deal_board(self.seed), 2 * SIZE * SIZE)
+        self.state.declare("score", 0, 4)
+        self.state.declare("moves_left", MOVES_PER_LEVEL, 2)
+        self.state.declare("level", 1, 1)
+        self.state.declare("cascade", 0, 1)
+        self.state.declare("level_theme", self.seed & 0xFF, 2048)
+
+    def on_event(self, ctx: HandlerContext) -> None:
+        if ctx.trace.event_type is EventType.SWIPE:
+            self._on_swipe(ctx)
+        else:
+            self._on_tick(ctx)
+
+    def _on_swipe(self, ctx: HandlerContext) -> None:
+        x0 = ctx.ev("x0")
+        y0 = ctx.ev("y0")
+        direction = ctx.ev("direction")
+        velocity = ctx.ev("velocity")
+        # The gesture recognizer always runs over the full motion series
+        # before the game can decide the swipe is too slow to be a move.
+        ctx.cpu(2_500_000)
+        if velocity < 800.0:
+            return  # too slow to register as a move gesture
+        col = x0 // CELL_PX
+        row = y0 // CELL_PX
+        ctx.cpu_func("pick_cell", (col, row, direction), 30_000)
+        if col >= SIZE or row >= SIZE:
+            return  # swipe started off-board (HUD area)
+        if ctx.hist("cascade") > 0:
+            return  # board still resolving the previous move
+        drow, dcol = _OCTANT_DELTAS[direction]
+        nrow, ncol = row + drow, col + dcol
+        if not (0 <= nrow < SIZE and 0 <= ncol < SIZE):
+            return  # swap partner off the edge
+        board = ctx.hist("board")
+        a, b = row * SIZE + col, nrow * SIZE + ncol
+        swapped = list(board)
+        swapped[a], swapped[b] = swapped[b], swapped[a]
+        swapped_board = tuple(swapped)
+        # The full-board match scan is the expensive, memoizable kernel.
+        ctx.cpu_func("match_scan", (board, a, b), 3_000_000, reusable=False)
+        matches = find_matches(swapped_board)
+        if not matches:
+            # Invalid move: the game animates the candies swapping and
+            # swapping back (a visible wobble), then leaves the board as
+            # it was. Repeating the same invalid swap replays the exact
+            # same wobble — no new output.
+            ctx.ip("gpu", 1.2, bytes_in=64 * 1024, key=("wobble", a, b))
+            ctx.out_temp("wobble", (a, b), 16)
+            haptic_buzz(ctx, pattern=3)
+            return
+        score = ctx.hist("score")
+        moves_left = ctx.hist("moves_left")
+        level = ctx.hist("level")
+        fill_seed = mix_values("fill", self.seed, level, score)
+        new_board = collapse(swapped_board, matches, fill_seed)
+        ctx.out_hist("board", new_board)
+        ctx.out_hist("score", score + 5 * len(matches))
+        ctx.out_hist("cascade", CASCADE_TICKS)
+        play_sound(ctx, sound_id=7)
+        if moves_left - 1 <= 0:
+            theme = ctx.extern(f"level_assets_{level + 1}")
+            ctx.out_hist("level", level + 1)
+            ctx.out_hist("level_theme", theme, nbytes=2048 + (theme % 4) * 1024)
+            ctx.out_hist("moves_left", MOVES_PER_LEVEL)
+            ctx.out_extern("progress_sync", (level + 1, score), 128)
+        else:
+            ctx.out_hist("moves_left", moves_left - 1)
+
+    def _on_tick(self, ctx: HandlerContext) -> None:
+        slot = ctx.ev("slot")
+        cascade = ctx.hist("cascade")
+        board = ctx.hist("board")
+        ctx.cpu(1_000_000)
+        board_digest = mix_values("digest", board) & 0xFFFFFF
+        if cascade > 0:
+            ctx.out_hist("cascade", cascade - 1)
+            content = mix_values("fall", board_digest, cascade) & 0xFFFFFFFF
+            render_frame(ctx, content, gpu_units=6.0, compose_cycles=7_000_000)
+        else:
+            # Idle shimmer: four frames repeating while the board rests.
+            content = mix_values("shimmer", board_digest, slot) & 0xFFFFFFFF
+            render_frame(ctx, content, gpu_units=5.0, compose_cycles=7_000_000)

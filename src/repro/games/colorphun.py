@@ -1,0 +1,107 @@
+"""Colorphun: the simple touch-based game [10].
+
+Two stacked colour panels; the player taps the brighter one before the
+timer runs out. Light on compute, naive about rendering — it redraws the
+whole (mostly static) frame on every vsync, which is precisely the
+redundant event processing SNIP snips.
+
+Useless user events: touch-up events, taps outside the panels, and taps
+landing during the between-round cooldown animation.
+"""
+
+from __future__ import annotations
+
+from repro.android.events import EventType
+from repro.games.base import Game, HandlerContext, mix_values
+from repro.games.common import haptic_buzz, play_sound, render_frame
+
+SCREEN_W = 1440
+SCREEN_H = 2560
+#: Panels leave a dead margin on both sides; taps there do nothing.
+MARGIN_X = 140
+#: Cooldown ticks after a scored tap during which taps are ignored.
+COOLDOWN_TICKS = 6
+
+
+class Colorphun(Game):
+    """Tap-the-brighter-panel arcade game."""
+
+    name = "colorphun"
+    handled_event_types = (EventType.TOUCH, EventType.FRAME_TICK)
+    upkeep_cycles = {EventType.FRAME_TICK: 4_000_000, EventType.TOUCH: 100_000}
+    upkeep_ip_units = {EventType.FRAME_TICK: {"gpu": 1.5}}
+
+    def build_state(self) -> None:
+        self.state.declare("score", 0, 4)
+        self.state.declare("lives", 3, 1)
+        self.state.declare("round_seed", self.seed & 0xFFFF, 4)
+        self.state.declare("top_color", 180, 2)
+        self.state.declare("bottom_color", 90, 2)
+        self.state.declare("cooldown", 0, 1)
+
+    def on_event(self, ctx: HandlerContext) -> None:
+        if ctx.trace.event_type is EventType.TOUCH:
+            self._on_touch(ctx)
+        else:
+            self._on_tick(ctx)
+
+    def _on_touch(self, ctx: HandlerContext) -> None:
+        action = ctx.ev("action")
+        ctx.cpu(20_000)  # input plumbing and view hit-test glue
+        if action != 0:  # only touch-down starts a guess
+            return
+        x = ctx.ev("x")
+        y = ctx.ev("y")
+        panel = self._hit_panel(ctx, x, y)
+        if panel is None:
+            return  # tap in the dead margin: processed, no effect
+        if ctx.hist("cooldown") > 0:
+            return  # round transition still animating: tap ignored
+        top = ctx.hist("top_color")
+        bottom = ctx.hist("bottom_color")
+        score = ctx.hist("score")
+        ctx.cpu_func("judge_guess", (panel, top, bottom), 60_000)
+        correct = (top > bottom) == (panel == "top")
+        if correct:
+            seed = ctx.hist("round_seed")
+            new_seed = mix_values(seed, score + 1) & 0xFFFF
+            ctx.out_hist("score", score + 1)
+            ctx.out_hist("round_seed", new_seed)
+            ctx.out_hist("top_color", new_seed % 255)
+            ctx.out_hist("bottom_color", (new_seed >> 8) % 255)
+            ctx.out_hist("cooldown", COOLDOWN_TICKS)
+            play_sound(ctx, sound_id=1)
+        else:
+            lives = ctx.hist("lives")
+            if lives <= 1:
+                # Game over: the round resets with a fresh board.
+                ctx.out_hist("lives", 3)
+                ctx.out_hist("score", 0)
+                ctx.out_hist("cooldown", COOLDOWN_TICKS)
+                play_sound(ctx, sound_id=9)
+            else:
+                ctx.out_hist("lives", lives - 1)
+            haptic_buzz(ctx, pattern=2)
+
+    def _on_tick(self, ctx: HandlerContext) -> None:
+        ctx.ev("delta_ms")
+        cooldown = ctx.hist("cooldown")
+        top = ctx.hist("top_color")
+        bottom = ctx.hist("bottom_color")
+        score = ctx.hist("score")
+        ctx.cpu(1_000_000)  # per-frame game-loop glue (naive busy loop)
+        if cooldown > 0:
+            ctx.out_hist("cooldown", cooldown - 1)
+            content = mix_values("flash", top, bottom, score, cooldown) & 0xFFFFFFFF
+            render_frame(ctx, content, gpu_units=3.5, compose_cycles=4_000_000)
+        else:
+            # Naive full redraw of a static scene — the redundant case.
+            content = mix_values("static", top, bottom, score) & 0xFFFFFFFF
+            render_frame(ctx, content, gpu_units=2.5, compose_cycles=4_000_000)
+
+    def _hit_panel(self, ctx: HandlerContext, x: int, y: int) -> "str | None":
+        """Which panel a tap landed on, as a memoizable sub-function."""
+        ctx.cpu_func("hit_test", (x // 72, y // 128), 25_000)
+        if x < MARGIN_X or x > SCREEN_W - MARGIN_X:
+            return None
+        return "top" if y < SCREEN_H // 2 else "bottom"

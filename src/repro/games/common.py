@@ -1,0 +1,71 @@
+"""Shared handler building blocks used by all seven games.
+
+These helpers standardise how games express the expensive parts of
+event processing — frame rendering (GPU + display), audio cues, haptic
+feedback — so energy accounting and memoization keys are consistent
+across workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.games.base import HandlerContext
+from repro.soc.soc import IP_AUDIO_CODEC, IP_DISPLAY, IP_DSP, IP_GPU
+
+#: Byte size of one rendered frame tile (Out.Temp granularity, <64 B as
+#: in the paper's Fig. 7b).
+FRAME_TILE_BYTES = 48
+SOUND_CUE_BYTES = 16
+HAPTIC_BYTES = 4
+
+
+def render_frame(
+    ctx: HandlerContext,
+    content: int,
+    gpu_units: float,
+    compose_cycles: int = 1_800_000,
+    frame_bytes: int = 512 * 1024,
+) -> None:
+    """Draw one frame whose pixels are a pure function of ``content``.
+
+    ``content`` is a digest of everything visible; two frames with the
+    same content are identical on screen, so the GPU and display calls
+    are keyed on it (Max-IP can skip exact repeats) and the Out.Temp
+    write is unchanged when the content did not move.
+    """
+    ctx.cpu_func("compose_frame", (content,), compose_cycles, reusable=False)
+    ctx.ip(IP_GPU, gpu_units, bytes_in=frame_bytes, bytes_out=frame_bytes,
+           key=("frame", content))
+    ctx.ip(IP_DISPLAY, 1.0, bytes_in=frame_bytes, key=("scanout", content))
+    ctx.mem(frame_bytes)
+    ctx.out_temp("frame", content, FRAME_TILE_BYTES)
+
+
+def play_sound(ctx: HandlerContext, sound_id: int, units: float = 1.0) -> None:
+    """Queue a sound cue on the audio codec."""
+    ctx.ip(IP_AUDIO_CODEC, units, bytes_in=4096, key=("sound", sound_id))
+    ctx.out_temp("audio", sound_id, SOUND_CUE_BYTES)
+
+
+def haptic_buzz(ctx: HandlerContext, pattern: int) -> None:
+    """Fire a vibration pattern (cheap, CPU-driven)."""
+    ctx.cpu(8_000, big=False)
+    ctx.out_temp("haptic", pattern, HAPTIC_BYTES)
+
+
+def physics_step(
+    ctx: HandlerContext,
+    key: Tuple[Any, ...],
+    cpu_cycles: int,
+    dsp_units: float = 0.0,
+) -> None:
+    """Run a physics solve as a memoizable CPU function + optional DSP."""
+    ctx.cpu_func("physics", key, cpu_cycles)
+    if dsp_units > 0:
+        ctx.ip(IP_DSP, dsp_units, bytes_in=8192, key=("physics",) + tuple(key))
+
+
+def bucket(value: float, step: float) -> int:
+    """Quantise ``value`` into an integer bucket of width ``step``."""
+    return int(value // step)

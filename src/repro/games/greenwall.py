@@ -1,0 +1,146 @@
+"""Greenwall: fling-fruit-at-a-wall arcade slicing [32, 33].
+
+Waves of fruit arc across the screen on fixed launch patterns; the
+player slices them with swipes. Trajectories are pure parabolas of
+``(pattern, fruit, phase)``, and the game ships only a handful of launch
+patterns, so tick rendering recurs across waves — good memoization
+ground. Swipes that miss every fruit change nothing (the whiff events).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.android.events import EventType
+from repro.games.base import Game, HandlerContext, mix_values
+from repro.games.common import haptic_buzz, physics_step, play_sound, render_frame
+
+SCREEN_W = 1440
+SCREEN_H = 2560
+#: Number of distinct launch patterns the game ships.
+PATTERNS = 8
+FRUITS_PER_WAVE = 5
+WAVE_TICKS = 90
+GRAVITY = 0.9
+SLICE_RADIUS = 480.0
+
+
+def fruit_position(pattern: int, fruit: int, phase: int) -> Tuple[float, float]:
+    """Deterministic parabolic position of one fruit at a wave phase."""
+    launch = mix_values("launch", pattern, fruit)
+    x0 = 120 + (launch % 1200)
+    vx = ((launch >> 10) % 13) - 6
+    vy = 38 + ((launch >> 16) % 18)
+    x = x0 + vx * phase
+    y = SCREEN_H - (vy * phase - 0.5 * GRAVITY * phase * phase)
+    return (x, y)
+
+
+def _segment_distance(px: float, py: float, x0: float, y0: float, x1: float, y1: float) -> float:
+    """Distance from point (px,py) to segment (x0,y0)-(x1,y1)."""
+    dx, dy = x1 - x0, y1 - y0
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0:
+        return ((px - x0) ** 2 + (py - y0) ** 2) ** 0.5
+    t = max(0.0, min(1.0, ((px - x0) * dx + (py - y0) * dy) / length_sq))
+    cx, cy = x0 + t * dx, y0 + t * dy
+    return ((px - cx) ** 2 + (py - cy) ** 2) ** 0.5
+
+
+class Greenwall(Game):
+    """Swipe-slicing game with pattern-driven fruit waves."""
+
+    name = "greenwall"
+    handled_event_types = (EventType.SWIPE, EventType.FRAME_TICK)
+    upkeep_cycles = {EventType.FRAME_TICK: 7_000_000, EventType.SWIPE: 500_000}
+    upkeep_ip_units = {EventType.FRAME_TICK: {"gpu": 4.0}}
+
+    def build_state(self) -> None:
+        self.state.declare("pattern", self.seed % PATTERNS, 1)
+        self.state.declare("phase", 0, 1)
+        self.state.declare("alive", (1 << FRUITS_PER_WAVE) - 1, 1)
+        self.state.declare("wave_index", 0, 2)
+        self.state.declare("score", 0, 4)
+        self.state.declare("combo", 0, 1)
+        self.state.declare("wall_art", self.seed & 0xFF, 4096)
+
+    def on_event(self, ctx: HandlerContext) -> None:
+        if ctx.trace.event_type is EventType.SWIPE:
+            self._on_swipe(ctx)
+        else:
+            self._on_tick(ctx)
+
+    def _on_swipe(self, ctx: HandlerContext) -> None:
+        x0 = ctx.ev("x0")
+        y0 = ctx.ev("y0")
+        x1 = ctx.ev("x1")
+        y1 = ctx.ev("y1")
+        ctx.cpu(1_000_000)
+        pattern = ctx.hist("pattern")
+        phase = ctx.hist("phase")
+        alive = ctx.hist("alive")
+        # Geometric slice test over every airborne fruit.
+        ctx.cpu_func(
+            "slice_test",
+            (x0 // 80, y0 // 80, x1 // 80, y1 // 80, pattern, phase, alive),
+            2_500_000,
+        )
+        hits = self._hits(alive, pattern, phase, x0, y0, x1, y1)
+        if not hits:
+            return  # whiff: full slice test ran, nothing changed
+        new_alive = alive
+        for fruit in hits:
+            new_alive &= ~(1 << fruit)
+        score = ctx.hist("score")
+        combo = ctx.hist("combo")
+        ctx.out_hist("alive", new_alive)
+        ctx.out_hist("score", score + 10 * len(hits) + 5 * combo)
+        ctx.out_hist("combo", min(9, combo + len(hits)))
+        play_sound(ctx, sound_id=11)
+        haptic_buzz(ctx, pattern=1)
+        splash = mix_values("splash", pattern, phase, tuple(hits)) & 0xFFFFFFFF
+        render_frame(ctx, splash, gpu_units=3.0)
+
+    def _on_tick(self, ctx: HandlerContext) -> None:
+        ctx.ev("delta_ms")
+        pattern = ctx.hist("pattern")
+        phase = ctx.hist("phase")
+        alive = ctx.hist("alive")
+        ctx.cpu(1_000_000)
+        physics_step(ctx, key=(pattern, phase, alive), cpu_cycles=3_000_000)
+        if phase >= WAVE_TICKS or alive == 0:
+            wave_index = ctx.hist("wave_index")
+            combo = ctx.hist("combo")
+            next_pattern = mix_values("wave", wave_index + 1) % PATTERNS
+            ctx.out_hist("pattern", next_pattern)
+            ctx.out_hist("phase", 0)
+            ctx.out_hist("alive", (1 << FRUITS_PER_WAVE) - 1)
+            ctx.out_hist("wave_index", wave_index + 1)
+            if combo:
+                ctx.out_hist("combo", 0)
+            content = mix_values("wave_intro", next_pattern) & 0xFFFFFFFF
+            render_frame(ctx, content, gpu_units=5.0, compose_cycles=5_000_000)
+            return
+        ctx.out_hist("phase", phase + 1)
+        content = mix_values("flight", pattern, phase, alive) & 0xFFFFFFFF
+        render_frame(ctx, content, gpu_units=6.0, compose_cycles=5_000_000)
+
+    def _hits(
+        self,
+        alive: int,
+        pattern: int,
+        phase: int,
+        x0: int,
+        y0: int,
+        x1: int,
+        y1: int,
+    ) -> List[int]:
+        """Indices of fruit whose current position the swipe crosses."""
+        hits = []
+        for fruit in range(FRUITS_PER_WAVE):
+            if not alive & (1 << fruit):
+                continue
+            fx, fy = fruit_position(pattern, fruit, phase)
+            if 0 <= fy <= SCREEN_H and _segment_distance(fx, fy, x0, y0, x1, y1) <= SLICE_RADIUS:
+                hits.append(fruit)
+        return hits

@@ -1,0 +1,180 @@
+"""Memory Game: card-pair matching [30].
+
+A 6x6 grid of face-down cards; the player flips two per move and keeps
+matches. Nearly every valid tap changes the board, so this game has the
+*lowest* useless-event fraction of the seven. Each card is its own
+state cell (sprite handle, face state, animation cursor), and both the
+tap logic and the board view depend on the whole set — so SNIP's
+necessary inputs span all 36 card cells and its per-event comparison is
+by far the widest of the seven games. That is exactly the paper's
+Fig. 11c finding: Memory Game pays the highest lookup overhead "due to
+the high amount of comparisons for each event processing".
+
+When every pair is matched the game deals the next level's layout
+(fixed content per level, like the shipped app).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.android.events import EventType
+from repro.games.base import Game, HandlerContext, mix_values
+from repro.games.common import haptic_buzz, play_sound, render_frame
+
+GRID = 6
+CELLS = GRID * GRID
+#: Sentinel for "no first card picked yet".
+NO_PICK = 255
+#: Screen cell size used by the tap hit-test.
+CELL_W = 1440 // GRID
+CELL_H = 2200 // GRID
+#: Bytes per card cell: sprite handle, face state, animation cursor.
+CARD_BYTES = 64
+#: Ticks a mismatched pair stays face-up before flipping back.
+HIDE_TICKS = 30
+
+# Card face states packed into the card value alongside the kind.
+FACE_DOWN = 0
+FACE_UP = 1
+FACE_MATCHED = 2
+
+
+def deal_kinds(level: int) -> Tuple[int, ...]:
+    """Deterministic pair layout for one level (fixed app content)."""
+    kinds = list(range(CELLS // 2)) * 2
+    for index in range(CELLS - 1, 0, -1):
+        swap = mix_values("deal", level, index) % (index + 1)
+        kinds[index], kinds[swap] = kinds[swap], kinds[index]
+    return tuple(kinds)
+
+
+def card_value(kind: int, face: int) -> int:
+    """Pack a card's kind and face state into one cell value."""
+    return (kind << 2) | face
+
+
+def card_kind(value: int) -> int:
+    """Unpack the kind from a card cell value."""
+    return value >> 2
+
+
+def card_face(value: int) -> int:
+    """Unpack the face state from a card cell value."""
+    return value & 0b11
+
+
+class MemoryGame(Game):
+    """Flip-two card matching on a 6x6 grid of per-card state cells."""
+
+    name = "memory_game"
+    handled_event_types = (EventType.TOUCH, EventType.FRAME_TICK)
+    upkeep_cycles = {EventType.FRAME_TICK: 4_000_000, EventType.TOUCH: 120_000}
+    upkeep_ip_units = {EventType.FRAME_TICK: {"gpu": 1.0}}
+
+    def build_state(self) -> None:
+        for cell, kind in enumerate(deal_kinds(level=1)):
+            self.state.declare(f"card_{cell}", card_value(kind, FACE_DOWN), CARD_BYTES)
+        self.state.declare("first_pick", NO_PICK, 1)
+        self.state.declare("moves", 0, 2)
+        self.state.declare("score", 0, 4)
+        self.state.declare("hide_timer", 0, 1)
+        self.state.declare("hide_a", NO_PICK, 1)
+        self.state.declare("hide_b", NO_PICK, 1)
+        self.state.declare("level", 1, 1)
+
+    def on_event(self, ctx: HandlerContext) -> None:
+        if ctx.trace.event_type is EventType.TOUCH:
+            self._on_touch(ctx)
+        else:
+            self._on_tick(ctx)
+
+    # -- tap handling -----------------------------------------------------
+
+    def _on_touch(self, ctx: HandlerContext) -> None:
+        action = ctx.ev("action")
+        ctx.cpu(18_000)
+        if action != 0:
+            return
+        x = ctx.ev("x")
+        y = ctx.ev("y")
+        cell = self._cell_at(ctx, x, y)
+        if cell is None:
+            return  # tap below the grid (score bar area)
+        if ctx.hist("hide_timer") > 0:
+            return  # mismatch pair still shown; input locked
+        card = ctx.hist(f"card_{cell}")
+        if card_face(card) != FACE_DOWN:
+            return  # tapping a face-up or matched card does nothing
+        first = ctx.hist("first_pick")
+        ctx.cpu_func("flip_logic", (cell, first, card), 90_000)
+        if first == NO_PICK:
+            ctx.out_hist("first_pick", cell)
+            ctx.out_hist(f"card_{cell}", card_value(card_kind(card), FACE_UP))
+            play_sound(ctx, sound_id=3)
+            return
+        first_card = ctx.hist(f"card_{first}")
+        moves = ctx.hist("moves")
+        ctx.out_hist("moves", moves + 1)
+        ctx.out_hist("first_pick", NO_PICK)
+        if card_kind(first_card) == card_kind(card):
+            ctx.out_hist(f"card_{cell}", card_value(card_kind(card), FACE_MATCHED))
+            ctx.out_hist(f"card_{first}", card_value(card_kind(first_card), FACE_MATCHED))
+            score = ctx.hist("score")
+            ctx.out_hist("score", score + 10)
+            play_sound(ctx, sound_id=4)
+            self._maybe_next_level(ctx, cell, first)
+        else:
+            ctx.out_hist(f"card_{cell}", card_value(card_kind(card), FACE_UP))
+            ctx.out_hist("hide_timer", HIDE_TICKS)
+            ctx.out_hist("hide_a", first)
+            ctx.out_hist("hide_b", cell)
+            haptic_buzz(ctx, pattern=1)
+
+    def _maybe_next_level(self, ctx: HandlerContext, cell: int, first: int) -> None:
+        """Deal the next level once every pair is matched."""
+        for index in range(CELLS):
+            if index in (cell, first):
+                continue
+            if card_face(ctx.hist(f"card_{index}")) != FACE_MATCHED:
+                return
+        level = ctx.hist("level")
+        ctx.out_hist("level", level + 1)
+        for index, kind in enumerate(deal_kinds(level + 1)):
+            ctx.out_hist(f"card_{index}", card_value(kind, FACE_DOWN))
+        play_sound(ctx, sound_id=5)
+
+    # -- frame loop ----------------------------------------------------------
+
+    def _on_tick(self, ctx: HandlerContext) -> None:
+        ctx.ev("delta_ms")
+        hide_timer = ctx.hist("hide_timer")
+        ctx.cpu(1_500_000)
+        if hide_timer > 0:
+            remaining = hide_timer - 1
+            ctx.out_hist("hide_timer", remaining)
+            if remaining == 0:
+                # Flip the mismatched pair face-down again.
+                for key in ("hide_a", "hide_b"):
+                    index = ctx.hist(key)
+                    if index != NO_PICK:
+                        value = ctx.hist(f"card_{index}")
+                        ctx.out_hist(
+                            f"card_{index}",
+                            card_value(card_kind(value), FACE_DOWN),
+                        )
+                        ctx.out_hist(key, NO_PICK)
+        # The board view digests every card cell: all 36 are inputs.
+        cards = [ctx.hist(f"card_{index}") for index in range(CELLS)]
+        content = mix_values("board_view", tuple(cards), hide_timer > 0) & 0xFFFFFFFF
+        render_frame(ctx, content, gpu_units=4.5, compose_cycles=5_000_000,
+                     frame_bytes=512 * 1024)
+
+    def _cell_at(self, ctx: HandlerContext, x: int, y: int) -> "int | None":
+        """Grid cell under a tap, as a memoizable sub-function."""
+        ctx.cpu_func("cell_at", (x // CELL_W, y // CELL_H), 22_000)
+        col = x // CELL_W
+        row = y // CELL_H
+        if col >= GRID or row >= GRID:
+            return None
+        return row * GRID + col

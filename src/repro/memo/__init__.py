@@ -1,0 +1,23 @@
+"""Memoization substrates: the pre-SNIP lookup-table designs.
+
+Two strawmen from the paper, kept as first-class implementations because
+they *are* the evaluation's baselines and motivation:
+
+* :mod:`repro.memo.naive` — key on the union of all input locations
+  (Sec. III / Fig. 6): always correct, impossibly large.
+* :mod:`repro.memo.event_only` — key on In.Event fields only
+  (Sec. IV-B / Fig. 8): small, but ambiguous and therefore wrong.
+"""
+
+from repro.memo.event_only import EventOnlyStats, EventOnlyTable
+from repro.memo.naive import CoveragePoint, NaiveLookupTable
+from repro.memo.stats import classify_erroneous_execution, weighted_coverage
+
+__all__ = [
+    "CoveragePoint",
+    "EventOnlyStats",
+    "EventOnlyTable",
+    "NaiveLookupTable",
+    "classify_erroneous_execution",
+    "weighted_coverage",
+]

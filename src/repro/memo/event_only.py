@@ -1,0 +1,132 @@
+"""In.Event-only lookup table (paper Sec. IV-B, Fig. 8).
+
+Keys records on the event object's fields alone — small, fixed-size,
+statically locatable — and predicts the majority output seen for each
+key. The same gesture in different game contexts maps to one key, so a
+key can accumulate *multiple* distinct outputs: those instances are
+ambiguous, and majority prediction gets some of them wrong. Fig. 8
+quantifies the size win, the ambiguity, and the error breakdown by
+output category that disqualifies this scheme.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.android.emulator import ProfileRecord
+from repro.android.events import EventType, schema_for
+from repro.games.base import FieldWrite, OutputCategory
+from repro.memo.stats import classify_erroneous_execution, total_output_bytes
+
+
+@dataclass(frozen=True)
+class EventOnlyStats:
+    """Fig. 8 metrics for one profile."""
+
+    entry_count: int
+    table_bytes: int
+    coverage: float            # cycle-weighted fraction of repeats (hits)
+    ambiguous_fraction: float  # cycle-weighted fraction on multi-output keys
+    erroneous_fraction: float  # cycle-weighted fraction mispredicted
+    error_breakdown: Mapping[OutputCategory, float]  # sums to 1 over errors
+
+
+class EventOnlyTable:
+    """Majority-output memoization keyed on In.Event fields only."""
+
+    def __init__(self, records: Sequence[ProfileRecord]) -> None:
+        if not records:
+            raise ValueError("cannot build a table from an empty profile")
+        self._outputs_by_key: Dict[Tuple, Counter] = defaultdict(Counter)
+        self._writes_by_signature: Dict[Tuple, Tuple[FieldWrite, ...]] = {}
+        self._records = list(records)
+        for record in self._records:
+            key = self._key(record)
+            signature = record.trace.output_signature()
+            self._outputs_by_key[key][signature] += record.trace.total_cycles
+            self._writes_by_signature.setdefault(signature, tuple(record.trace.writes))
+
+    @staticmethod
+    def _key(record: ProfileRecord) -> Tuple:
+        return (record.event_type,) + tuple(value for _, value in record.event_values)
+
+    # -- size -------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        """Number of distinct In.Event keys stored."""
+        return len(self._outputs_by_key)
+
+    @property
+    def table_bytes(self) -> int:
+        """Stored size: key bytes plus the majority output per key."""
+        total = 0
+        for key, outputs in self._outputs_by_key.items():
+            event_type: EventType = key[0]
+            total += schema_for(event_type).nbytes
+            majority_signature = outputs.most_common(1)[0][0]
+            total += total_output_bytes(self._writes_by_signature[majority_signature])
+        return total
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict(self, record: ProfileRecord) -> Tuple[FieldWrite, ...]:
+        """Majority output writes for this record's event key."""
+        outputs = self._outputs_by_key[self._key(record)]
+        majority_signature = outputs.most_common(1)[0][0]
+        return self._writes_by_signature[majority_signature]
+
+    def stats(self, user_events_only: bool = True) -> EventOnlyStats:
+        """Evaluate the scheme over its own profile (paper Fig. 8).
+
+        Hits are counted on *repeat* occurrences (first sight inserts);
+        ambiguity and errors are weighted by trace cycles like coverage.
+        ``user_events_only`` evaluates over user-originated events (the
+        paper's Sec. IV studies user event objects; vsync callbacks are
+        not user events), while the table itself still stores all types.
+        """
+        seen: Dict[Tuple, int] = {}
+        total_cycles = 0.0
+        hit_cycles = 0.0
+        ambiguous_cycles = 0.0
+        error_cycles = 0.0
+        error_by_category: Dict[OutputCategory, float] = {
+            category: 0.0 for category in OutputCategory
+        }
+        for record in self._records:
+            if user_events_only and record.event_type is EventType.FRAME_TICK:
+                continue
+            key = self._key(record)
+            weight = record.trace.total_cycles
+            total_cycles += weight
+            if key in seen:
+                hit_cycles += weight
+                outputs = self._outputs_by_key[key]
+                if len(outputs) > 1:
+                    ambiguous_cycles += weight
+                predicted = self.predict(record)
+                severity = classify_erroneous_execution(
+                    predicted, record.trace.writes
+                )
+                if severity is not None:
+                    error_cycles += weight
+                    error_by_category[severity] += weight
+            else:
+                seen[key] = 1
+        breakdown: Dict[OutputCategory, float] = {}
+        for category, cycles in error_by_category.items():
+            breakdown[category] = cycles / error_cycles if error_cycles else 0.0
+        return EventOnlyStats(
+            entry_count=self.entry_count,
+            table_bytes=self.table_bytes,
+            coverage=hit_cycles / total_cycles if total_cycles else 0.0,
+            ambiguous_fraction=ambiguous_cycles / total_cycles if total_cycles else 0.0,
+            erroneous_fraction=error_cycles / total_cycles if total_cycles else 0.0,
+            error_breakdown=breakdown,
+        )
+
+    def multi_output_keys(self) -> List[Tuple]:
+        """Keys that observed more than one distinct output."""
+        return [key for key, outputs in self._outputs_by_key.items() if len(outputs) > 1]

@@ -1,0 +1,172 @@
+"""Naive lookup table: key on the union of ALL input locations.
+
+Paper Sec. III. Every record stores the value at every input location
+(event fields, every game-state location, every external asset) plus the
+outputs. It is always *correct* — two executions with identical full
+input records provably produce identical outputs — but the record width
+is the whole input universe and nearly every event is unique somewhere,
+so the table balloons into gigabytes for single-digit coverage (Fig. 6).
+
+The table is built *online* in trace order, the way a device would
+actually populate it: each miss inserts, each hit adds covered cycles.
+The (size, coverage) trajectory is Fig. 6's curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.android.emulator import ProfileRecord
+from repro.android.events import EventType
+from repro.core.fields import (
+    FieldInfo,
+    input_universe,
+    record_inputs,
+    records_by_event_type,
+    universe_bytes,
+)
+from repro.memo.stats import total_output_bytes
+
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    """One point of the Fig. 6 curve."""
+
+    events_seen: int
+    table_bytes_input_only: int
+    table_bytes_with_outputs: int
+    coverage: float  # cycle-weighted fraction of execution covered
+
+
+class NaiveLookupTable:
+    """Union-of-locations memoization table over one profile."""
+
+    def __init__(
+        self, records: Sequence[ProfileRecord], user_events_only: bool = True
+    ) -> None:
+        """Build the table online over ``records``.
+
+        ``user_events_only`` restricts the study to user-originated
+        events, the paper's Sec. III scope (vsync ticks are engine
+        callbacks, not captured user events).
+        """
+        if user_events_only:
+            records = [
+                record for record in records
+                if record.event_type is not EventType.FRAME_TICK
+            ]
+        if not records:
+            raise ValueError("cannot build a table from an empty profile")
+        self._universes: Dict[EventType, List[FieldInfo]] = {}
+        grouped = records_by_event_type(records)
+        for event_type, group in grouped.items():
+            self._universes[event_type] = input_universe(event_type, group)
+        self._entries: Dict[Tuple, Tuple] = {}
+        self._input_bytes = 0
+        self._output_bytes = 0
+        self._hit_cycles = 0.0
+        self._total_cycles = 0.0
+        self._hits = 0
+        self._misses = 0
+        self._curve: List[CoveragePoint] = []
+        self._build(records)
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        """Number of stored records."""
+        return len(self._entries)
+
+    @property
+    def input_bytes(self) -> int:
+        """Stored bytes of input keys only (Fig. 6 'Input Only')."""
+        return self._input_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Stored bytes including outputs (Fig. 6 'Input + Output')."""
+        return self._input_bytes + self._output_bytes
+
+    @property
+    def coverage(self) -> float:
+        """Final cycle-weighted coverage achieved by the full table."""
+        if self._total_cycles <= 0:
+            return 0.0
+        return self._hit_cycles / self._total_cycles
+
+    @property
+    def hits(self) -> int:
+        """Number of events whose full input record repeated."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of events that inserted a new record."""
+        return self._misses
+
+    @property
+    def curve(self) -> List[CoveragePoint]:
+        """The online (table size, coverage) trajectory."""
+        return list(self._curve)
+
+    def universe(self, event_type: EventType) -> List[FieldInfo]:
+        """Input universe used for one event type."""
+        return list(self._universes[event_type])
+
+    def record_width_bytes(self, event_type: EventType) -> int:
+        """Input-record width for one event type."""
+        return universe_bytes(self._universes[event_type])
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self, records: Sequence[ProfileRecord]) -> None:
+        sample_every = max(1, len(records) // 400)
+        for position, record in enumerate(records):
+            universe = self._universes[record.event_type]
+            inputs = record_inputs(record)
+            key = (record.event_type,) + tuple(
+                inputs.get(info.name) for info in universe
+            )
+            weight = record.trace.total_cycles
+            self._total_cycles += weight
+            if key in self._entries:
+                self._hits += 1
+                self._hit_cycles += weight
+            else:
+                self._misses += 1
+                self._entries[key] = record.trace.output_signature()
+                self._input_bytes += universe_bytes(universe)
+                self._output_bytes += total_output_bytes(record.trace.writes)
+            if position % sample_every == 0 or position == len(records) - 1:
+                self._curve.append(
+                    CoveragePoint(
+                        events_seen=position + 1,
+                        table_bytes_input_only=self._input_bytes,
+                        table_bytes_with_outputs=self._input_bytes + self._output_bytes,
+                        coverage=(
+                            self._hit_cycles / self._total_cycles
+                            if self._total_cycles
+                            else 0.0
+                        ),
+                    )
+                )
+
+    def bytes_needed_for_coverage(self, coverage: float, with_outputs: bool = True) -> int:
+        """Smallest observed table size reaching ``coverage`` (Fig. 6).
+
+        Returns the size at the first curve point whose coverage meets
+        the target; raises ``ValueError`` if the profile never got there.
+        """
+        for point in self._curve:
+            if point.coverage >= coverage:
+                return (
+                    point.table_bytes_with_outputs
+                    if with_outputs
+                    else point.table_bytes_input_only
+                )
+        raise ValueError(
+            f"profile never reached {coverage:.1%} coverage "
+            f"(max {self.coverage:.1%})"
+        )

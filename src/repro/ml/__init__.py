@@ -1,0 +1,27 @@
+"""Machine-learning substrate for SNIP's feature selection.
+
+scikit-learn is not available in this environment, so the pieces PFI
+needs are implemented from scratch on numpy: a CART decision tree, a
+Breiman random forest [6], and model-agnostic permutation feature
+importance [7]. The implementations favour clarity and determinism
+(seeded everywhere) over raw speed; profile datasets are split per event
+type, which keeps them comfortably small.
+"""
+
+from repro.ml.dataset import Dataset
+from repro.ml.encoding import FeatureEncoder, encode_value
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy, majority_class_accuracy
+from repro.ml.permutation import permutation_importance
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "Dataset",
+    "DecisionTreeClassifier",
+    "FeatureEncoder",
+    "RandomForestClassifier",
+    "accuracy",
+    "encode_value",
+    "majority_class_accuracy",
+    "permutation_importance",
+]

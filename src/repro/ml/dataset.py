@@ -1,0 +1,92 @@
+"""Tabular dataset container for the PFI pipeline."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+class Dataset:
+    """Feature matrix + integer class labels + optional sample weights.
+
+    Labels are arbitrary hashable objects at the API boundary (output
+    signatures, class digests); internally they are mapped to dense
+    class indices so models can use ``bincount``-style counting.
+    """
+
+    def __init__(
+        self,
+        feature_names: Sequence[str],
+        features: np.ndarray,
+        labels: Sequence[object],
+        sample_weight: Optional[Sequence[float]] = None,
+    ) -> None:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise DatasetError(f"features must be 2-D, got shape {features.shape}")
+        if features.shape[1] != len(feature_names):
+            raise DatasetError(
+                f"{len(feature_names)} feature names but {features.shape[1]} columns"
+            )
+        if features.shape[0] != len(labels):
+            raise DatasetError(
+                f"{features.shape[0]} rows but {len(labels)} labels"
+            )
+        if features.shape[0] == 0:
+            raise DatasetError("dataset has no rows")
+        self.feature_names: List[str] = list(feature_names)
+        self.features = features
+        self.classes: List[object] = sorted(set(labels), key=repr)
+        class_index: Dict[object, int] = {
+            label: position for position, label in enumerate(self.classes)
+        }
+        self.labels = np.asarray([class_index[label] for label in labels], dtype=np.int64)
+        if sample_weight is None:
+            self.sample_weight = np.ones(features.shape[0], dtype=np.float64)
+        else:
+            weight = np.asarray(sample_weight, dtype=np.float64)
+            if weight.shape != (features.shape[0],):
+                raise DatasetError("sample_weight length mismatch")
+            if (weight < 0).any():
+                raise DatasetError("sample weights must be non-negative")
+            self.sample_weight = weight
+
+    @property
+    def n_rows(self) -> int:
+        """Number of samples."""
+        return self.features.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of feature columns."""
+        return self.features.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct labels."""
+        return len(self.classes)
+
+    def class_of(self, index: int) -> object:
+        """Original label object for a dense class index."""
+        return self.classes[index]
+
+    def split(self, train_fraction: float, rng: np.random.Generator) -> Tuple["Dataset", "Dataset"]:
+        """Random train/test row split (labels re-share the class map)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise DatasetError(f"train_fraction out of (0,1): {train_fraction}")
+        order = rng.permutation(self.n_rows)
+        cut = max(1, min(self.n_rows - 1, int(self.n_rows * train_fraction)))
+        train_rows, test_rows = order[:cut], order[cut:]
+        return self._subset(train_rows), self._subset(test_rows)
+
+    def _subset(self, rows: np.ndarray) -> "Dataset":
+        subset = Dataset.__new__(Dataset)
+        subset.feature_names = self.feature_names
+        subset.features = self.features[rows]
+        subset.classes = self.classes
+        subset.labels = self.labels[rows]
+        subset.sample_weight = self.sample_weight[rows]
+        return subset

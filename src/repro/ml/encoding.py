@@ -1,0 +1,74 @@
+"""Field-value -> numeric feature encoding.
+
+Profile records carry heterogeneous values: ints, floats, strings,
+tuples (board layouts), None. Trees need numbers, and — crucially for
+memoization — *equal values must encode equally* across the whole
+dataset. Numbers pass through; everything else is hashed to a stable
+64-bit integer and mapped into float space. Hash encoding destroys
+ordering, which costs the trees some split quality on composite values,
+but equality structure (the thing memoization keys on) is preserved
+exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+#: Sentinel feature value for "this input location was absent".
+ABSENT = -1.0
+
+
+def encode_value(value: Any) -> float:
+    """Encode one field value as a float, preserving equality."""
+    if value is None:
+        return ABSENT
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        # Large ints (digests) must stay distinguishable after float
+        # conversion; fold them into 48 bits first.
+        if isinstance(value, int) and abs(value) > 2**48:
+            value = value % (2**48)
+        return float(value)
+    digest = hashlib.blake2b(repr(value).encode("utf-8"), digest_size=6).digest()
+    return float(int.from_bytes(digest, "little"))
+
+
+class FeatureEncoder:
+    """Encodes dict-like records into fixed-order feature vectors."""
+
+    def __init__(self, feature_names: Sequence[str]) -> None:
+        if len(set(feature_names)) != len(feature_names):
+            raise ValueError("duplicate feature names")
+        self.feature_names: List[str] = list(feature_names)
+        self._index: Dict[str, int] = {
+            name: position for position, name in enumerate(self.feature_names)
+        }
+
+    @property
+    def width(self) -> int:
+        """Number of features per vector."""
+        return len(self.feature_names)
+
+    def index_of(self, name: str) -> int:
+        """Column index of a feature."""
+        return self._index[name]
+
+    def encode_record(self, record: Dict[str, Any]) -> np.ndarray:
+        """One record -> feature vector; missing keys become ABSENT."""
+        row = np.full(self.width, ABSENT, dtype=np.float64)
+        for name, value in record.items():
+            position = self._index.get(name)
+            if position is not None:
+                row[position] = encode_value(value)
+        return row
+
+    def encode_records(self, records: Sequence[Dict[str, Any]]) -> np.ndarray:
+        """Many records -> (n, width) matrix."""
+        matrix = np.full((len(records), self.width), ABSENT, dtype=np.float64)
+        for row_index, record in enumerate(records):
+            matrix[row_index] = self.encode_record(record)
+        return matrix

@@ -1,0 +1,47 @@
+"""Classification metrics used by PFI and the error analyses."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def accuracy(
+    predicted: np.ndarray,
+    actual: np.ndarray,
+    sample_weight: Optional[np.ndarray] = None,
+) -> float:
+    """(Weighted) fraction of correct predictions."""
+    predicted = np.asarray(predicted)
+    actual = np.asarray(actual)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"shape mismatch: {predicted.shape} vs {actual.shape}"
+        )
+    correct = (predicted == actual).astype(np.float64)
+    if sample_weight is None:
+        return float(correct.mean())
+    weight = np.asarray(sample_weight, dtype=np.float64)
+    total = weight.sum()
+    if total <= 0:
+        return 0.0
+    return float(np.dot(correct, weight) / total)
+
+
+def majority_class_accuracy(
+    labels: np.ndarray, sample_weight: Optional[np.ndarray] = None
+) -> float:
+    """Accuracy of always predicting the most common class.
+
+    The floor any useful model must beat; PFI curves are read against it.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    counts = np.bincount(
+        labels,
+        weights=None if sample_weight is None else np.asarray(sample_weight),
+    )
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    return float(counts.max() / total)

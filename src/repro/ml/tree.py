@@ -1,0 +1,182 @@
+"""CART decision-tree classifier (gini impurity, threshold splits).
+
+A deliberately compact, deterministic implementation: candidate split
+thresholds are value quantiles (capped per node), features can be
+subsampled per split (for forests), and sample weights are honoured
+throughout. High-cardinality hashed features still split usefully
+because equal values always land on the same side of a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelNotFittedError
+
+#: Candidate thresholds examined per (node, feature).
+MAX_THRESHOLDS = 16
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    feature: int
+    threshold: float
+    prediction: int
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _weighted_gini(counts: np.ndarray) -> float:
+    """Gini impurity of a weighted class-count vector."""
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.dot(proportions, proportions))
+
+
+class DecisionTreeClassifier:
+    """A CART classifier over float features and dense int labels."""
+
+    def __init__(
+        self,
+        max_depth: int = 16,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_Node] = None
+        self._n_classes = 0
+        self._node_count = 0
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the fitted tree."""
+        return self._node_count
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+        n_classes: Optional[int] = None,
+    ) -> "DecisionTreeClassifier":
+        """Grow the tree; returns self for chaining."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if sample_weight is None:
+            sample_weight = np.ones(len(labels), dtype=np.float64)
+        self._n_classes = int(n_classes if n_classes is not None else labels.max() + 1)
+        rng = np.random.default_rng(self.seed)
+        self._node_count = 0
+        self._root = self._grow(features, labels, sample_weight, depth=0, rng=rng)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Class index per row."""
+        if self._root is None:
+            raise ModelNotFittedError("decision tree has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        out = np.empty(features.shape[0], dtype=np.int64)
+        for row_index in range(features.shape[0]):
+            node = self._root
+            row = features[row_index]
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[row_index] = node.prediction
+        return out
+
+    # -- growth ---------------------------------------------------------
+
+    def _grow(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        weight: np.ndarray,
+        depth: int,
+        rng: np.random.Generator,
+    ) -> _Node:
+        self._node_count += 1
+        counts = np.bincount(labels, weights=weight, minlength=self._n_classes)
+        prediction = int(counts.argmax())
+        if (
+            depth >= self.max_depth
+            or len(labels) < 2 * self.min_samples_leaf
+            or _weighted_gini(counts) == 0.0
+        ):
+            return _Node(feature=-1, threshold=0.0, prediction=prediction)
+        split = self._best_split(features, labels, weight, counts, rng)
+        if split is None:
+            return _Node(feature=-1, threshold=0.0, prediction=prediction)
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        left = self._grow(features[mask], labels[mask], weight[mask], depth + 1, rng)
+        right = self._grow(features[~mask], labels[~mask], weight[~mask], depth + 1, rng)
+        return _Node(feature=feature, threshold=threshold, prediction=prediction,
+                     left=left, right=right)
+
+    def _best_split(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        weight: np.ndarray,
+        parent_counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Optional[tuple]:
+        n_features = features.shape[1]
+        if self.max_features is not None and self.max_features < n_features:
+            candidates = rng.choice(n_features, size=self.max_features, replace=False)
+        else:
+            candidates = np.arange(n_features)
+        parent_impurity = _weighted_gini(parent_counts)
+        total_weight = weight.sum()
+        best = None
+        best_gain = 1e-12
+        for feature in candidates:
+            column = features[:, feature]
+            values = np.unique(column)
+            if len(values) < 2:
+                continue
+            if len(values) > MAX_THRESHOLDS:
+                quantiles = np.linspace(0, 1, MAX_THRESHOLDS + 2)[1:-1]
+                thresholds = np.unique(np.quantile(values, quantiles))
+            else:
+                thresholds = (values[:-1] + values[1:]) / 2.0
+            for threshold in thresholds:
+                mask = column <= threshold
+                left_n = int(mask.sum())
+                right_n = len(labels) - left_n
+                if left_n < self.min_samples_leaf or right_n < self.min_samples_leaf:
+                    continue
+                left_counts = np.bincount(
+                    labels[mask], weights=weight[mask], minlength=self._n_classes
+                )
+                right_counts = parent_counts - left_counts
+                left_weight = left_counts.sum()
+                right_weight = total_weight - left_weight
+                child_impurity = (
+                    left_weight * _weighted_gini(left_counts)
+                    + right_weight * _weighted_gini(right_counts)
+                ) / total_weight
+                gain = parent_impurity - child_impurity
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float(threshold))
+        return best

@@ -1,0 +1,135 @@
+"""Seeded randomness utilities.
+
+All stochastic behaviour in the library (user gesture generation, forest
+bootstrap sampling, permutation shuffles) flows through
+:class:`ReproRng`, a thin wrapper over :class:`numpy.random.Generator`
+that supports hierarchical forking. Forking gives every subsystem an
+independent stream derived from one master seed, so adding randomness to
+one subsystem never perturbs another — a property the experiment drivers
+rely on for reproducible figures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+#: Default master seed used by experiment drivers when none is given.
+DEFAULT_SEED = 0x5A1B
+
+
+def _mix(seed: int, label: str) -> int:
+    """Derive a child seed from ``seed`` and a string ``label``.
+
+    Uses BLAKE2 so that distinct labels give statistically independent
+    child seeds and the derivation is stable across platforms and Python
+    hash randomization.
+    """
+    digest = hashlib.blake2b(
+        label.encode("utf-8"), digest_size=8, key=seed.to_bytes(8, "little", signed=False)
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class ReproRng:
+    """A forkable, seeded random stream.
+
+    Parameters
+    ----------
+    seed:
+        Master seed. The same seed always produces the same stream of
+        draws *and* the same child streams from :meth:`fork`.
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED) -> None:
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self._seed = int(seed) & 0xFFFFFFFFFFFFFFFF
+        self._gen = np.random.default_rng(self._seed)
+
+    @property
+    def seed(self) -> int:
+        """The seed this stream was created with."""
+        return self._seed
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator, for vectorised draws."""
+        return self._gen
+
+    def fork(self, label: str) -> "ReproRng":
+        """Return an independent child stream named ``label``.
+
+        Forking is a pure function of ``(seed, label)``: it does not
+        advance this stream, so call order does not matter.
+        """
+        return ReproRng(_mix(self._seed, label))
+
+    # -- scalar draws -------------------------------------------------
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """One float drawn uniformly from ``[low, high)``."""
+        return float(self._gen.uniform(low, high))
+
+    def integer(self, low: int, high: int) -> int:
+        """One integer drawn uniformly from ``[low, high)``."""
+        if high <= low:
+            raise ValueError(f"empty integer range [{low}, {high})")
+        return int(self._gen.integers(low, high))
+
+    def normal(self, mean: float = 0.0, std: float = 1.0) -> float:
+        """One normal draw."""
+        return float(self._gen.normal(mean, std))
+
+    def exponential(self, mean: float) -> float:
+        """One exponential draw with the given mean."""
+        if mean <= 0:
+            raise ValueError(f"exponential mean must be positive, got {mean}")
+        return float(self._gen.exponential(mean))
+
+    def chance(self, probability: float) -> bool:
+        """Bernoulli draw: ``True`` with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of [0, 1]: {probability}")
+        return bool(self._gen.uniform() < probability)
+
+    # -- collection draws ---------------------------------------------
+
+    def choice(self, items: Sequence[T], weights: Optional[Sequence[float]] = None) -> T:
+        """Pick one item, optionally with relative ``weights``."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        if weights is None:
+            return items[self.integer(0, len(items))]
+        if len(weights) != len(items):
+            raise ValueError("weights must match items in length")
+        probs = np.asarray(weights, dtype=float)
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        index = int(self._gen.choice(len(items), p=probs / total))
+        return items[index]
+
+    def sample(self, items: Sequence[T], count: int) -> List[T]:
+        """Pick ``count`` distinct items without replacement."""
+        if count > len(items):
+            raise ValueError(f"cannot sample {count} from {len(items)} items")
+        indices = self._gen.choice(len(items), size=count, replace=False)
+        return [items[int(i)] for i in indices]
+
+    def shuffled(self, items: Iterable[T]) -> List[T]:
+        """Return a new shuffled list; the input is not modified."""
+        out = list(items)
+        self._gen.shuffle(out)  # type: ignore[arg-type]
+        return out
+
+    def permutation(self, count: int) -> np.ndarray:
+        """A random permutation of ``range(count)`` as an array."""
+        return self._gen.permutation(count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReproRng(seed={self._seed:#x})"

@@ -1,0 +1,31 @@
+"""Optimization schemes evaluated in the paper's Sec. VII.
+
+* ``baseline`` — process every event fully.
+* ``max_cpu`` — function-level reuse of pure CPU kernels ([3, 14, 42]):
+  can skip a repeated ``CPUFunc_i``, never an IP call.
+* ``max_ip`` — IP-side optimization ([43]): sleeps idle IP blocks and
+  skips exact-repeat accelerator invocations, never CPU work.
+* ``snip`` — the full SNIP runtime with its lookup table.
+* ``no_overheads`` — SNIP with free lookups (the headroom line).
+
+Every scheme runs the same generated session on a fresh SoC; results
+carry the energy ledger plus each scheme's short-circuit coverage.
+"""
+
+from repro.schemes.base import Scheme, SchemeRun, run_scheme_session
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.max_cpu import MaxCpuScheme
+from repro.schemes.max_ip import MaxIpScheme
+from repro.schemes.no_overheads import NoOverheadsScheme
+from repro.schemes.snip_scheme import SnipScheme
+
+__all__ = [
+    "BaselineScheme",
+    "MaxCpuScheme",
+    "MaxIpScheme",
+    "NoOverheadsScheme",
+    "Scheme",
+    "SchemeRun",
+    "SnipScheme",
+    "run_scheme_session",
+]

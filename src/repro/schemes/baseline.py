@@ -1,0 +1,37 @@
+"""Baseline: process every event fully (no optimization)."""
+
+from __future__ import annotations
+
+from repro.android.dispatch import EventLoop
+from repro.games.base import Game
+from repro.schemes.base import Scheme
+from repro.soc.soc import Soc
+
+
+class _BaselineRunner:
+    """EventLoop wrapper exposing the scheme counters."""
+
+    def __init__(self, soc: Soc, game: Game) -> None:
+        self._loop = EventLoop(soc, game)
+
+    def deliver(self, event) -> None:
+        self._loop.deliver(event)
+
+    @property
+    def coverage(self) -> float:
+        """Baseline short-circuits nothing."""
+        return 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Baseline has no table to hit."""
+        return 0.0
+
+
+class BaselineScheme(Scheme):
+    """Unoptimized execution: the Fig. 11 reference point."""
+
+    name = "baseline"
+
+    def make_runner(self, soc: Soc, game: Game) -> _BaselineRunner:
+        return _BaselineRunner(soc, game)

@@ -1,0 +1,89 @@
+"""Battery model and drain-time projection.
+
+The paper's Fig. 3 reports how long each game takes to drain a 100%
+charged 3450 mAh pack (idle phone ~20 h, Race Kings ~3 h). The model
+here converts an observed average power into that projection and also
+supports step-wise draining during long simulated sessions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BatteryDepletedError
+from repro.units import SECONDS_PER_HOUR, mah_to_joules
+
+#: Pixel XL pack capacity used throughout the paper.
+PIXEL_XL_CAPACITY_MAH = 3450.0
+
+
+class Battery:
+    """A battery pack tracked in joules.
+
+    Parameters
+    ----------
+    capacity_mah:
+        Rated capacity; converted to joules at the nominal pack voltage.
+    """
+
+    def __init__(self, capacity_mah: float = PIXEL_XL_CAPACITY_MAH) -> None:
+        if capacity_mah <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_mah}")
+        self.capacity_mah = capacity_mah
+        self.capacity_joules = mah_to_joules(capacity_mah)
+        self._drained_joules = 0.0
+
+    @property
+    def drained_joules(self) -> float:
+        """Energy removed from the pack so far."""
+        return self._drained_joules
+
+    @property
+    def remaining_joules(self) -> float:
+        """Energy still available."""
+        return max(0.0, self.capacity_joules - self._drained_joules)
+
+    @property
+    def remaining_fraction(self) -> float:
+        """State of charge in 0..1."""
+        return self.remaining_joules / self.capacity_joules
+
+    @property
+    def is_depleted(self) -> bool:
+        """True once the pack has hit 0%."""
+        return self.remaining_joules <= 0.0
+
+    def drain(self, joules: float) -> None:
+        """Remove ``joules`` from the pack.
+
+        Raises
+        ------
+        BatteryDepletedError
+            If the pack is already empty. A drain that *crosses* zero is
+            allowed and clamps, mirroring a phone shutting down mid-use.
+        """
+        if joules < 0:
+            raise ValueError(f"cannot drain negative energy: {joules}")
+        if self.is_depleted and joules > 0:
+            raise BatteryDepletedError(
+                f"battery already depleted (capacity {self.capacity_mah} mAh)"
+            )
+        self._drained_joules = min(self.capacity_joules, self._drained_joules + joules)
+
+    def recharge_full(self) -> None:
+        """Reset to 100% (used between experiment runs)."""
+        self._drained_joules = 0.0
+
+    def hours_to_empty(self, average_watts: float) -> float:
+        """Project full-capacity drain time at a constant power draw.
+
+        This is the paper's Fig. 3 metric: measure a game for 5–10
+        minutes, then extrapolate to the full 3450 mAh.
+        """
+        if average_watts <= 0:
+            raise ValueError(f"average power must be positive, got {average_watts}")
+        return self.capacity_joules / average_watts / SECONDS_PER_HOUR
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Battery(capacity_mah={self.capacity_mah}, "
+            f"remaining={self.remaining_fraction:.1%})"
+        )

@@ -1,0 +1,91 @@
+"""Kryo-like big.LITTLE CPU cluster model.
+
+The cluster is the unit of accounting — the paper's Fig. 2 reports "CPU"
+as one bucket — but work can be steered to big or little cores, which
+differ ~3x in energy per cycle. Event-handler dispatch and game logic
+run on big cores; background bookkeeping (tracing, sensor batching) runs
+on little cores.
+"""
+
+from __future__ import annotations
+
+from repro.soc.component import ComponentGroup, HardwareComponent
+from repro.soc.energy import EnergyMeter
+from repro.soc.power_profiles import CpuProfile
+
+
+class CpuCluster(HardwareComponent):
+    """A 2+2 big.LITTLE CPU cluster charging cycles to the meter."""
+
+    def __init__(self, meter: EnergyMeter, profile: CpuProfile, name: str = "cpu") -> None:
+        super().__init__(
+            name=name,
+            group=ComponentGroup.CPU,
+            meter=meter,
+            idle_power_watts=profile.idle_power_watts,
+            sleep_power_watts=profile.sleep_power_watts,
+            wake_energy_joules=profile.wake_energy_joules,
+        )
+        self._profile = profile
+        self._big_cycles = 0
+        self._little_cycles = 0
+
+    @property
+    def profile(self) -> CpuProfile:
+        """The constant set this cluster was built with."""
+        return self._profile
+
+    @property
+    def big_cycles_executed(self) -> int:
+        """Total cycles retired on big cores."""
+        return self._big_cycles
+
+    @property
+    def little_cycles_executed(self) -> int:
+        """Total cycles retired on little cores."""
+        return self._little_cycles
+
+    @property
+    def total_cycles_executed(self) -> int:
+        """Total cycles retired on any core."""
+        return self._big_cycles + self._little_cycles
+
+    def execute(self, cycles: int, big: bool = True, tag: str = "event") -> float:
+        """Run ``cycles`` of work; returns the wall time consumed.
+
+        Parameters
+        ----------
+        cycles:
+            Dynamic instruction-cycle count to retire.
+        big:
+            Steer to big (default) or little cores.
+        tag:
+            Energy-ledger tag (``"lookup"`` for SNIP table overhead).
+        """
+        if cycles < 0:
+            raise ValueError(f"negative cycle count: {cycles}")
+        if cycles == 0:
+            return 0.0
+        self.wake(tag=tag)
+        if big:
+            energy = cycles * self._profile.big_energy_per_cycle
+            seconds = cycles / self._profile.big_freq_hz
+            self._big_cycles += cycles
+        else:
+            energy = cycles * self._profile.little_energy_per_cycle
+            seconds = cycles / self._profile.little_freq_hz
+            self._little_cycles += cycles
+        self.charge(energy, tag=tag)
+        return seconds
+
+    def energy_for(self, cycles: int, big: bool = True) -> float:
+        """Energy that :meth:`execute` would charge, without charging it.
+
+        Used by schemes to reason about prospective savings.
+        """
+        if cycles < 0:
+            raise ValueError(f"negative cycle count: {cycles}")
+        per_cycle = (
+            self._profile.big_energy_per_cycle if big else self._profile.little_energy_per_cycle
+        )
+        return cycles * per_cycle

@@ -1,0 +1,154 @@
+"""Per-component energy ledger.
+
+Every hardware component charges its activity here. The ledger keys each
+charge by ``(component, group, tag)`` so the experiment drivers can slice
+the same data three ways:
+
+* by **component** (``"gpu"``, ``"big_cpu"``) for detailed debugging;
+* by **group** (CPU / IPs / Memory / Sensors) for the paper's Fig. 2
+  breakdown;
+* by **tag** (``"event"``, ``"lookup"``, ``"idle"``) for the Fig. 11c
+  overhead accounting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.soc.component import ComponentGroup
+
+#: Charge tag for regular event-processing work.
+TAG_EVENT = "event"
+#: Charge tag for SNIP lookup-table loads and comparisons (overhead).
+TAG_LOOKUP = "lookup"
+#: Charge tag for idle/leakage power integrated over session time.
+TAG_IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Immutable snapshot of an :class:`EnergyMeter`.
+
+    Attributes
+    ----------
+    total_joules:
+        Grand total over every charge.
+    by_component / by_group / by_tag:
+        Marginal totals along each axis.
+    by_group_and_tag:
+        Joint totals, used by the overhead analysis.
+    """
+
+    total_joules: float
+    by_component: Mapping[str, float]
+    by_group: Mapping[ComponentGroup, float]
+    by_tag: Mapping[str, float]
+    by_group_and_tag: Mapping[Tuple[ComponentGroup, str], float]
+
+    def group_fraction(self, group: ComponentGroup) -> float:
+        """Fraction of total energy consumed by ``group`` (0 if empty)."""
+        if self.total_joules <= 0:
+            return 0.0
+        return self.by_group.get(group, 0.0) / self.total_joules
+
+    def tag_fraction(self, tag: str) -> float:
+        """Fraction of total energy carrying ``tag`` (0 if empty)."""
+        if self.total_joules <= 0:
+            return 0.0
+        return self.by_tag.get(tag, 0.0) / self.total_joules
+
+
+class EnergyMeter:
+    """Accumulates energy charges from all components of one SoC."""
+
+    def __init__(self) -> None:
+        self._by_component: Dict[str, float] = defaultdict(float)
+        self._by_group: Dict[ComponentGroup, float] = defaultdict(float)
+        self._by_tag: Dict[str, float] = defaultdict(float)
+        self._by_group_tag: Dict[Tuple[ComponentGroup, str], float] = defaultdict(float)
+        self._total = 0.0
+
+    def charge(
+        self,
+        component: str,
+        group: ComponentGroup,
+        joules: float,
+        tag: str = TAG_EVENT,
+    ) -> None:
+        """Record ``joules`` of consumption.
+
+        Negative charges are rejected — refunds would let a scheme hide
+        energy it actually spent.
+        """
+        if joules < 0:
+            raise ValueError(f"negative energy charge from {component!r}: {joules}")
+        if joules == 0:
+            return
+        self._by_component[component] += joules
+        self._by_group[group] += joules
+        self._by_tag[tag] += joules
+        self._by_group_tag[(group, tag)] += joules
+        self._total += joules
+
+    @property
+    def total_joules(self) -> float:
+        """Total energy charged so far."""
+        return self._total
+
+    def component_joules(self, component: str) -> float:
+        """Energy charged by one component so far."""
+        return self._by_component.get(component, 0.0)
+
+    def group_joules(self, group: ComponentGroup) -> float:
+        """Energy charged by one component group so far."""
+        return self._by_group.get(group, 0.0)
+
+    def tag_joules(self, tag: str) -> float:
+        """Energy charged under one tag so far."""
+        return self._by_tag.get(tag, 0.0)
+
+    def report(self) -> EnergyReport:
+        """Immutable snapshot of the current ledger."""
+        return EnergyReport(
+            total_joules=self._total,
+            by_component=dict(self._by_component),
+            by_group=dict(self._by_group),
+            by_tag=dict(self._by_tag),
+            by_group_and_tag=dict(self._by_group_tag),
+        )
+
+    def reset(self) -> None:
+        """Clear the ledger (used between scheme runs on a shared SoC)."""
+        self._by_component.clear()
+        self._by_group.clear()
+        self._by_tag.clear()
+        self._by_group_tag.clear()
+        self._total = 0.0
+
+
+def merge_reports(reports: Iterable[EnergyReport]) -> EnergyReport:
+    """Sum several reports into one (e.g. across session repetitions)."""
+    by_component: Dict[str, float] = defaultdict(float)
+    by_group: Dict[ComponentGroup, float] = defaultdict(float)
+    by_tag: Dict[str, float] = defaultdict(float)
+    by_group_tag: Dict[Tuple[ComponentGroup, str], float] = defaultdict(float)
+    total = 0.0
+    for report in reports:
+        total += report.total_joules
+        for key, value in report.by_component.items():
+            by_component[key] += value
+        for group, value in report.by_group.items():
+            by_group[group] += value
+        for tag, value in report.by_tag.items():
+            by_tag[tag] += value
+        for pair, value in report.by_group_and_tag.items():
+            by_group_tag[pair] += value
+    return EnergyReport(
+        total_joules=total,
+        by_component=dict(by_component),
+        by_group=dict(by_group),
+        by_tag=dict(by_tag),
+        by_group_and_tag=dict(by_group_tag),
+    )

@@ -1,0 +1,54 @@
+"""LPDDR4 memory channel model.
+
+Memory charges per byte moved. Event processing moves its inputs and
+outputs through memory (the Binder shared-memory hop, handler state
+reads/writes, IP DMA buffers), so short-circuiting an event also saves
+its memory traffic — the ledger makes that visible.
+"""
+
+from __future__ import annotations
+
+from repro.soc.component import ComponentGroup, HardwareComponent
+from repro.soc.energy import EnergyMeter
+from repro.soc.power_profiles import MemoryProfile
+
+
+class Memory(HardwareComponent):
+    """A DRAM channel charging per-byte transfer energy."""
+
+    def __init__(self, meter: EnergyMeter, profile: MemoryProfile, name: str = "dram") -> None:
+        super().__init__(
+            name=name,
+            group=ComponentGroup.MEMORY,
+            meter=meter,
+            idle_power_watts=profile.idle_power_watts,
+            sleep_power_watts=profile.sleep_power_watts,
+        )
+        self._profile = profile
+        self._bytes_moved = 0
+
+    @property
+    def profile(self) -> MemoryProfile:
+        """The constant set this channel was built with."""
+        return self._profile
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes transferred so far."""
+        return self._bytes_moved
+
+    def transfer(self, num_bytes: int, tag: str = "event") -> float:
+        """Move ``num_bytes`` through the channel; returns wall time."""
+        if num_bytes < 0:
+            raise ValueError(f"negative transfer size: {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        self.charge(num_bytes * self._profile.energy_per_byte, tag=tag)
+        self._bytes_moved += num_bytes
+        return num_bytes / self._profile.bandwidth_bytes_per_second
+
+    def energy_for(self, num_bytes: int) -> float:
+        """Energy that :meth:`transfer` would charge, without charging."""
+        if num_bytes < 0:
+            raise ValueError(f"negative transfer size: {num_bytes}")
+        return num_bytes * self._profile.energy_per_byte

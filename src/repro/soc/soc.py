@@ -1,0 +1,176 @@
+"""SoC assembly: wire every component to one shared energy meter.
+
+:func:`snapdragon_821` builds the Pixel-XL-class phone the paper
+evaluates on. A :class:`Soc` is deliberately dumb — it owns components
+and the battery but has no policy; sessions and schemes decide what runs
+and what sleeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.soc.battery import Battery
+from repro.soc.component import ComponentGroup, HardwareComponent
+from repro.soc.cpu import CpuCluster
+from repro.soc.energy import EnergyMeter, EnergyReport, TAG_IDLE
+from repro.soc.ip import (
+    AudioCodec,
+    DisplayController,
+    Dsp,
+    Gpu,
+    ImageSignalProcessor,
+    IpBlock,
+    SensorHubIp,
+    VideoCodec,
+)
+from repro.soc.memory import Memory
+from repro.soc.power_profiles import PowerProfiles, pixel_xl_profiles
+from repro.soc.sensors import (
+    Accelerometer,
+    CameraSensor,
+    GpsReceiver,
+    Gyroscope,
+    Sensor,
+    TouchPanel,
+)
+
+#: Canonical IP block names (keys of :attr:`Soc.ips`).
+IP_GPU = "gpu"
+IP_DISPLAY = "display"
+IP_VIDEO_CODEC = "video_codec"
+IP_AUDIO_CODEC = "audio_codec"
+IP_ISP = "isp"
+IP_DSP = "dsp"
+IP_SENSOR_HUB = "sensor_hub"
+
+#: Canonical sensor names (keys of :attr:`Soc.sensors`).
+SENSOR_TOUCH = "touch"
+SENSOR_GYRO = "gyro"
+SENSOR_ACCEL = "accel"
+SENSOR_GPS = "gps"
+SENSOR_CAMERA = "camera"
+
+
+class Soc:
+    """A fully-assembled phone SoC plus battery.
+
+    All components share one :class:`EnergyMeter`; experiments read the
+    meter's report after a session and optionally project battery life.
+    """
+
+    def __init__(
+        self,
+        meter: EnergyMeter,
+        cpu: CpuCluster,
+        memory: Memory,
+        ips: Dict[str, IpBlock],
+        sensors: Dict[str, Sensor],
+        battery: Battery,
+        profiles: PowerProfiles,
+    ) -> None:
+        self.meter = meter
+        self.cpu = cpu
+        self.memory = memory
+        self.ips = ips
+        self.sensors = sensors
+        self.battery = battery
+        self.profiles = profiles
+        self._elapsed_seconds = 0.0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated wall time advanced via :meth:`advance_time`."""
+        return self._elapsed_seconds
+
+    def ip(self, name: str) -> IpBlock:
+        """Look up an IP block by canonical name."""
+        try:
+            return self.ips[name]
+        except KeyError:
+            raise SimulationError(f"SoC has no IP block named {name!r}") from None
+
+    def sensor(self, name: str) -> Sensor:
+        """Look up a sensor by canonical name."""
+        try:
+            return self.sensors[name]
+        except KeyError:
+            raise SimulationError(f"SoC has no sensor named {name!r}") from None
+
+    def all_components(self) -> Dict[str, HardwareComponent]:
+        """Every component keyed by name (CPU, memory, IPs, sensors)."""
+        components: Dict[str, HardwareComponent] = {
+            self.cpu.name: self.cpu,
+            self.memory.name: self.memory,
+        }
+        components.update(self.ips)
+        components.update(self.sensors)
+        return components
+
+    def advance_time(self, seconds: float) -> None:
+        """Advance wall time, accruing background power on everything.
+
+        The platform floor (PMIC, rails, modem standby) is charged to a
+        pseudo-component so the idle-phone battery-life figure includes
+        consumers we do not model individually.
+        """
+        if seconds < 0:
+            raise SimulationError(f"cannot advance time by {seconds} s")
+        if seconds == 0:
+            return
+        for component in self.all_components().values():
+            component.accrue_background(seconds, tag=TAG_IDLE)
+        self.meter.charge(
+            "platform_floor",
+            ComponentGroup.IP,
+            self.profiles.platform_floor_watts * seconds,
+            tag=TAG_IDLE,
+        )
+        self._elapsed_seconds += seconds
+
+    def report(self) -> EnergyReport:
+        """Snapshot of the shared meter."""
+        return self.meter.report()
+
+    def average_watts(self) -> float:
+        """Mean power over the elapsed session time."""
+        if self._elapsed_seconds <= 0:
+            raise SimulationError("no simulated time has elapsed")
+        return self.meter.total_joules / self._elapsed_seconds
+
+
+def snapdragon_821(
+    profiles: Optional[PowerProfiles] = None,
+    battery: Optional[Battery] = None,
+) -> Soc:
+    """Build the Pixel XL phone model used throughout the experiments."""
+    profiles = profiles or pixel_xl_profiles()
+    meter = EnergyMeter()
+    cpu = CpuCluster(meter, profiles.cpu)
+    memory = Memory(meter, profiles.memory)
+    ips: Dict[str, IpBlock] = {
+        IP_GPU: Gpu(IP_GPU, meter, profiles.gpu),
+        IP_DISPLAY: DisplayController(IP_DISPLAY, meter, profiles.display),
+        IP_VIDEO_CODEC: VideoCodec(IP_VIDEO_CODEC, meter, profiles.video_codec),
+        IP_AUDIO_CODEC: AudioCodec(IP_AUDIO_CODEC, meter, profiles.audio_codec),
+        IP_ISP: ImageSignalProcessor(IP_ISP, meter, profiles.isp),
+        IP_DSP: Dsp(IP_DSP, meter, profiles.dsp),
+        IP_SENSOR_HUB: SensorHubIp(IP_SENSOR_HUB, meter, profiles.sensor_hub),
+    }
+    sensors: Dict[str, Sensor] = {
+        SENSOR_TOUCH: TouchPanel(SENSOR_TOUCH, meter, profiles.touch),
+        SENSOR_GYRO: Gyroscope(SENSOR_GYRO, meter, profiles.gyro),
+        SENSOR_ACCEL: Accelerometer(SENSOR_ACCEL, meter, profiles.accel),
+        SENSOR_GPS: GpsReceiver(SENSOR_GPS, meter, profiles.gps),
+        SENSOR_CAMERA: CameraSensor(SENSOR_CAMERA, meter, profiles.camera),
+    }
+    return Soc(
+        meter=meter,
+        cpu=cpu,
+        memory=memory,
+        ips=ips,
+        sensors=sensors,
+        battery=battery or Battery(),
+        profiles=profiles,
+    )

@@ -1,0 +1,97 @@
+"""Unit helpers: bytes, energy, time, and human-readable formatting.
+
+The simulator keeps raw quantities in base SI-ish units — bytes, joules,
+seconds, cycles — as plain floats/ints. This module centralises the
+conversion constants and the formatting used by the report renderers so
+that e.g. "5 GB" in a figure means the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Typical Pixel-XL-class capacities used by the Fig. 6 feasibility lines.
+TYPICAL_MEMORY_BYTES = 4 * GIB
+TYPICAL_SDCARD_BYTES = 64 * GIB
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+
+SECONDS_PER_HOUR = 3600.0
+
+#: Nominal battery pack voltage used to convert mAh to joules.
+BATTERY_NOMINAL_VOLTS = 3.85
+
+
+def mah_to_joules(mah: float, volts: float = BATTERY_NOMINAL_VOLTS) -> float:
+    """Convert a battery capacity in milliamp-hours to joules."""
+    if mah < 0:
+        raise ValueError(f"capacity must be non-negative, got {mah}")
+    return mah * MILLI * volts * SECONDS_PER_HOUR
+
+
+def joules_to_mah(joules: float, volts: float = BATTERY_NOMINAL_VOLTS) -> float:
+    """Convert joules back to milliamp-hours at the nominal voltage."""
+    if joules < 0:
+        raise ValueError(f"energy must be non-negative, got {joules}")
+    return joules / (MILLI * volts * SECONDS_PER_HOUR)
+
+
+def hours(seconds: float) -> float:
+    """Seconds expressed in hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def format_bytes(count: float) -> str:
+    """Render a byte count like ``"1.5 GB"`` (binary units).
+
+    >>> format_bytes(1536)
+    '1.5 kB'
+    """
+    magnitude = abs(count)
+    if magnitude >= GIB:
+        return f"{count / GIB:.1f} GB"
+    if magnitude >= MIB:
+        return f"{count / MIB:.1f} MB"
+    if magnitude >= KIB:
+        return f"{count / KIB:.1f} kB"
+    return f"{count:.0f} B"
+
+
+def format_energy(joules: float) -> str:
+    """Render an energy amount with an appropriate SI prefix."""
+    magnitude = abs(joules)
+    if magnitude >= 1.0:
+        return f"{joules:.2f} J"
+    if magnitude >= MILLI:
+        return f"{joules / MILLI:.2f} mJ"
+    if magnitude >= MICRO:
+        return f"{joules / MICRO:.2f} uJ"
+    return f"{joules / NANO:.2f} nJ"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration as hours/minutes/seconds depending on scale."""
+    magnitude = abs(seconds)
+    if magnitude >= SECONDS_PER_HOUR:
+        return f"{seconds / SECONDS_PER_HOUR:.1f} h"
+    if magnitude >= 60:
+        return f"{seconds / 60:.1f} min"
+    if magnitude >= 1:
+        return f"{seconds:.1f} s"
+    return f"{seconds * 1e3:.1f} ms"
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """Render a 0..1 fraction as a percentage string."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty clamp interval [{low}, {high}]")
+    return max(low, min(high, value))

@@ -1,0 +1,20 @@
+"""User-behaviour models, event-trace generation, and sessions.
+
+The paper measures real users; we substitute parameterised stochastic
+behaviour models (per game) that reproduce the published event-stream
+statistics: heavy gesture repetition with small variations, bursty
+interaction, and per-game gesture mixes. All randomness is seeded.
+"""
+
+from repro.users.behavior import BehaviorModel, behavior_for
+from repro.users.sessions import SessionResult, run_baseline_session
+from repro.users.tracegen import generate_events, generate_trace
+
+__all__ = [
+    "BehaviorModel",
+    "SessionResult",
+    "behavior_for",
+    "generate_events",
+    "generate_trace",
+    "run_baseline_session",
+]

@@ -1,0 +1,368 @@
+"""Per-game user-behaviour models.
+
+Each model turns a seeded RNG and a session duration into the *user
+side* of an event stream: gestures with realistic rates, habit clusters
+(players tap/swipe the same few spots with noise — the source of the
+paper's redundant events), bursts (catapult drags arrive in runs), and
+dwell phases (AR players stand still, then move).
+
+Frame ticks are not user behaviour; the trace generator adds them for
+games that subscribe to choreographer callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.android.events import Event, make_camera_frame, make_gyro
+from repro.android.events import make_multi_touch, make_swipe, make_touch
+from repro.errors import UnknownGameError
+from repro.rng import ReproRng
+
+SCREEN_W = 1440
+SCREEN_H = 2560
+
+
+class BehaviorModel:
+    """Base: generates user gesture events for one game."""
+
+    game_name = "abstract"
+
+    def gestures(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        """Unordered gesture events with timestamps in [0, duration)."""
+        raise NotImplementedError
+
+    # -- shared gesture helpers -----------------------------------------
+
+    @staticmethod
+    def _jitter(rng: ReproRng, base: int, spread: int, low: int, high: int) -> int:
+        """A habitual position: cluster centre plus bounded noise."""
+        value = base + rng.integer(-spread, spread + 1)
+        return max(low, min(high, value))
+
+
+class ColorphunBehavior(BehaviorModel):
+    """Fast alternating taps on the two panels, some sloppy."""
+
+    game_name = "colorphun"
+
+    def gestures(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        time = rng.exponential(0.4)
+        # The player's two habitual tap spots (thumb positions).
+        top_spot = (rng.integer(500, 940), rng.integer(400, 900))
+        bottom_spot = (rng.integer(500, 940), rng.integer(1600, 2200))
+        while time < duration_s:
+            spot = top_spot if rng.chance(0.5) else bottom_spot
+            x = self._jitter(rng, spot[0], 120, 0, SCREEN_W - 1)
+            y = self._jitter(rng, spot[1], 150, 0, SCREEN_H - 1)
+            if rng.chance(0.06):  # occasional wild tap at the edge
+                x = rng.choice([rng.integer(0, 130), rng.integer(1310, SCREEN_W)])
+            action = 1 if rng.chance(0.10) else 0  # stray touch-ups
+            events.append(make_touch(x, y, pressure=rng.uniform(0.3, 0.9),
+                                     action=action, timestamp=time))
+            time += rng.exponential(0.45)
+        return events
+
+
+class MemoryGameBehavior(BehaviorModel):
+    """Deliberate taps scanning the card grid."""
+
+    game_name = "memory_game"
+
+    def gestures(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        time = rng.exponential(0.8)
+        cell_w = SCREEN_W // 6
+        cell_h = 2200 // 6
+        while time < duration_s:
+            if rng.chance(0.02):  # tap drifts below the grid (score bar)
+                x = rng.integer(0, SCREEN_W)
+                y = rng.integer(2200, SCREEN_H)
+            else:
+                col = rng.integer(0, 6)
+                row = rng.integer(0, 6)
+                x = self._jitter(rng, col * cell_w + cell_w // 2, 60, 0, SCREEN_W - 1)
+                y = self._jitter(rng, row * cell_h + cell_h // 2, 60, 0, 2199)
+            action = 1 if rng.chance(0.03) else 0
+            events.append(make_touch(x, y, action=action, timestamp=time))
+            time += rng.exponential(0.7)
+        return events
+
+
+class CandyCrushBehavior(BehaviorModel):
+    """Swipes on board cells; players favour a few directions."""
+
+    game_name = "candy_crush"
+
+    def gestures(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        time = rng.exponential(0.6)
+        cell_px = SCREEN_W // 8
+        favourite_dirs = rng.sample([0, 2, 3, 4, 6], 3)
+        while time < duration_s:
+            col = rng.integer(0, 8)
+            row = rng.integer(0, 8)
+            x0 = self._jitter(rng, col * cell_px + cell_px // 2, 40, 0, SCREEN_W - 1)
+            y0 = self._jitter(rng, row * cell_px + cell_px // 2, 40, 0, SCREEN_H - 1)
+            direction = (
+                rng.choice(favourite_dirs) if rng.chance(0.7) else rng.integer(0, 8)
+            )
+            length = rng.integer(120, 260)
+            events.append(
+                make_swipe(
+                    x0, y0,
+                    min(SCREEN_W - 1, x0 + length), min(SCREEN_H - 1, y0 + length // 2),
+                    velocity=rng.uniform(400, 1600),
+                    direction=direction,
+                    duration_ms=rng.integer(80, 240),
+                    timestamp=time,
+                )
+            )
+            time += rng.exponential(0.65)
+        return events
+
+
+class GreenwallBehavior(BehaviorModel):
+    """Fast slicing arcs across the play area."""
+
+    game_name = "greenwall"
+
+    def gestures(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        time = rng.exponential(0.4)
+        while time < duration_s:
+            # Slices sweep across the middle band where fruit flies.
+            x0 = rng.integer(100, 500)
+            y0 = rng.integer(1200, 2400)
+            x1 = rng.integer(900, SCREEN_W - 1)
+            y1 = max(0, min(SCREEN_H - 1, y0 + rng.integer(-500, 500)))
+            events.append(
+                make_swipe(
+                    x0, y0, x1, y1,
+                    velocity=rng.uniform(1200, 3200),
+                    direction=2 if x1 > x0 else 6,
+                    duration_ms=rng.integer(60, 160),
+                    timestamp=time,
+                )
+            )
+            time += rng.exponential(0.4)
+        return events
+
+
+class AbEvolutionBehavior(BehaviorModel):
+    """Bursty catapult drags, then a fling; the paper's Fig. 4 peak.
+
+    Drag bursts run past the catapult's maximum stretch — the canonical
+    useless-event pattern the paper calls out for this game.
+    """
+
+    game_name = "ab_evolution"
+
+    def gestures(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        time = rng.exponential(1.0)
+        anchor = (rng.integer(300, 700), rng.integer(1700, 2100))
+        while time < duration_s:
+            # One aiming burst: 10-20 drag events at ~18 Hz.
+            burst_len = rng.integer(9, 18)
+            drag_time = time
+            for _ in range(burst_len):
+                if drag_time >= duration_s:
+                    break
+                x0 = self._jitter(rng, anchor[0], 40, 0, SCREEN_W - 1)
+                y0 = self._jitter(rng, anchor[1], 40, 0, SCREEN_H - 1)
+                events.append(
+                    make_multi_touch(
+                        x0, y0,
+                        min(SCREEN_W - 1, x0 + rng.integer(40, 200)),
+                        min(SCREEN_H - 1, y0 + rng.integer(40, 200)),
+                        gesture=0 if rng.chance(0.93) else rng.integer(1, 3),
+                        magnitude=rng.uniform(8.0, 16.0),
+                        timestamp=drag_time,
+                    )
+                )
+                drag_time += 0.055
+            time = drag_time
+            if rng.chance(0.75) and time < duration_s:  # release the bird
+                events.append(
+                    make_swipe(
+                        anchor[0], anchor[1],
+                        anchor[0] + rng.integer(-80, 80), max(0, anchor[1] - 600),
+                        velocity=rng.uniform(1500, 3500),
+                        direction=0,
+                        duration_ms=rng.integer(60, 140),
+                        timestamp=time,
+                    )
+                )
+            if rng.chance(0.08) and time + 0.2 < duration_s:  # stray UI tap
+                events.append(
+                    make_touch(rng.integer(0, SCREEN_W), rng.integer(0, 600),
+                               timestamp=time + 0.2)
+                )
+            # Watch the flight, then start aiming again.
+            time += rng.uniform(1.2, 2.8)
+        return events
+
+
+class ChaseWhisplyBehavior(BehaviorModel):
+    """AR play: camera stream with dwell/move phases, aim wobble, shots."""
+
+    game_name = "chase_whisply"
+
+    def gestures(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        events.extend(self._camera_stream(rng.fork("camera"), duration_s))
+        events.extend(self._gyro_stream(rng.fork("gyro"), duration_s))
+        events.extend(self._shots(rng.fork("shots"), duration_s))
+        return events
+
+    def _camera_stream(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        frame_id = 0
+        time = 0.0
+        complexity = rng.integer(20, 200)
+        rois = [rng.integer(0, 40) for _ in range(25)]
+        dwell_until = rng.uniform(2.0, 6.0)
+        moving = False
+        while time < duration_s:
+            if time >= dwell_until:
+                moving = not moving
+                dwell_until = time + (
+                    rng.uniform(1.5, 3.5) if moving else rng.uniform(2.5, 5.0)
+                )
+            if moving:
+                complexity = max(0, min(255, complexity + rng.integer(-25, 26)))
+                rois = [rng.integer(0, 40) for _ in range(25)]
+                motion = rng.uniform(3.0, 9.0)
+            else:
+                # Standing still: the scene barely changes frame to frame.
+                if rng.chance(0.35):
+                    rois[rng.integer(0, 25)] = rng.integer(0, 40)
+                motion = rng.uniform(0.0, 1.5)
+            events.append(
+                make_camera_frame(
+                    frame_id=frame_id % 64,  # ring-buffer frame ids
+                    scene_complexity=complexity,
+                    feature_count=complexity // 2,
+                    roi_values=list(rois),
+                    exposure=100,
+                    focus_zone=(complexity // 32) % 25,
+                    motion_score=motion,
+                    timestamp=time,
+                )
+            )
+            frame_id += 1
+            time += 1.0 / 30.0
+        return events
+
+    def _gyro_stream(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        time = rng.exponential(0.15)
+        alpha, beta = 10.0, 180.0
+        while time < duration_s:
+            if rng.chance(0.25):  # big re-aim swing
+                alpha = (alpha + rng.uniform(-60, 60)) % 360
+                beta = (beta + rng.uniform(-60, 60)) % 360
+            else:  # hand wobble within (usually) one aim bucket
+                alpha = (alpha + rng.uniform(-7, 7)) % 360
+                beta = (beta + rng.uniform(-7, 7)) % 360
+            events.append(
+                make_gyro(alpha, beta, gamma=rng.uniform(-5, 5),
+                          rate=rng.uniform(0, 20), timestamp=time)
+            )
+            time += rng.exponential(0.12)
+        return events
+
+    def _shots(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        time = rng.exponential(1.2)
+        while time < duration_s:
+            events.append(
+                make_touch(rng.integer(600, 840), rng.integer(1200, 1400),
+                           timestamp=time)
+            )
+            # Excited players squeeze off short tap runs.
+            if rng.chance(0.3):
+                for extra in range(rng.integer(1, 4)):
+                    follow = time + 0.15 * (extra + 1)
+                    if follow < duration_s:
+                        events.append(
+                            make_touch(rng.integer(600, 840),
+                                       rng.integer(1200, 1400), timestamp=follow)
+                        )
+            time += rng.exponential(1.3)
+        return events
+
+
+class RaceKingsBehavior(BehaviorModel):
+    """Continuous steering wiggle, lane tilts, and nitro taps."""
+
+    game_name = "race_kings"
+
+    def gestures(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        events.extend(self._steering(rng.fork("steer"), duration_s))
+        events.extend(self._tilts(rng.fork("tilt"), duration_s))
+        events.extend(self._nitro(rng.fork("nitro"), duration_s))
+        return events
+
+    def _steering(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        time = rng.exponential(0.2)
+        finger_x = 720
+        while time < duration_s:
+            # Mostly small corrections around the current finger spot.
+            step = rng.integer(-220, 221) if rng.chance(0.8) else rng.integer(-600, 601)
+            finger_x = max(0, min(SCREEN_W - 1, finger_x + step))
+            events.append(
+                make_multi_touch(
+                    finger_x, 2300, finger_x, 2300,
+                    gesture=0, magnitude=abs(step) / 40.0, timestamp=time,
+                )
+            )
+            time += rng.exponential(0.13)
+        return events
+
+    def _tilts(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        time = rng.exponential(0.2)
+        gamma = 0.0
+        while time < duration_s:
+            gamma = max(-40.0, min(40.0, gamma + rng.uniform(-14, 14)))
+            events.append(
+                make_gyro(alpha=0.0, beta=90.0, gamma=gamma,
+                          rate=rng.uniform(0, 30), timestamp=time)
+            )
+            time += rng.exponential(0.13)
+        return events
+
+    def _nitro(self, rng: ReproRng, duration_s: float) -> List[Event]:
+        events: List[Event] = []
+        time = rng.exponential(4.0)
+        while time < duration_s:
+            # Players hammer the button even while it recharges.
+            x = rng.integer(1150, SCREEN_W - 1) if rng.chance(0.9) else rng.integer(0, 1100)
+            y = rng.integer(2280, SCREEN_H - 1) if rng.chance(0.9) else rng.integer(0, 2200)
+            events.append(make_touch(x, y, timestamp=time))
+            time += rng.exponential(3.0)
+        return events
+
+
+_MODELS: Dict[str, Callable[[], BehaviorModel]] = {
+    "colorphun": ColorphunBehavior,
+    "memory_game": MemoryGameBehavior,
+    "candy_crush": CandyCrushBehavior,
+    "greenwall": GreenwallBehavior,
+    "ab_evolution": AbEvolutionBehavior,
+    "chase_whisply": ChaseWhisplyBehavior,
+    "race_kings": RaceKingsBehavior,
+}
+
+
+def behavior_for(game_name: str) -> BehaviorModel:
+    """The behaviour model matching a catalogue game."""
+    try:
+        return _MODELS[game_name]()
+    except KeyError:
+        raise UnknownGameError(f"no behaviour model for game {game_name!r}") from None

@@ -1,0 +1,123 @@
+"""User populations: archetypes over the base behaviour models.
+
+The paper stresses that "users generate vastly different events/inputs"
+[44] and that SNIP must tune to each user. This module adds that
+population axis: a :class:`UserArchetype` rescales a game's base
+behaviour (gesture tempo, precision, session length preference), and
+:class:`Population` deals archetypes to user ids deterministically — so
+fleet-level experiments (federated profiling, continuous learning across
+users) have heterogeneous but reproducible inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.android.events import Event
+from repro.android.tracing import EventTracer, RecordedTrace
+from repro.rng import ReproRng
+from repro.users.behavior import behavior_for
+from repro.users.tracegen import assemble_events
+
+
+@dataclass(frozen=True)
+class UserArchetype:
+    """A playing style, expressed as scalings over base behaviour.
+
+    Attributes
+    ----------
+    name:
+        Archetype label.
+    tempo:
+        Gesture-rate multiplier (>1 = more events per second), applied
+        by time-compressing the generated gesture timeline.
+    session_scale:
+        Preferred session length relative to the nominal duration.
+    """
+
+    name: str
+    tempo: float
+    session_scale: float
+
+    def __post_init__(self) -> None:
+        if self.tempo <= 0 or self.session_scale <= 0:
+            raise ValueError(f"archetype {self.name!r} has non-positive scales")
+
+
+#: The default archetype mix: casual thumbs, average players, grinders.
+DEFAULT_ARCHETYPES: Tuple[UserArchetype, ...] = (
+    UserArchetype(name="casual", tempo=0.7, session_scale=0.6),
+    UserArchetype(name="regular", tempo=1.0, session_scale=1.0),
+    UserArchetype(name="intense", tempo=1.5, session_scale=1.3),
+)
+
+
+class Population:
+    """A deterministic assignment of archetypes to user ids."""
+
+    def __init__(
+        self,
+        archetypes: Tuple[UserArchetype, ...] = DEFAULT_ARCHETYPES,
+        weights: Tuple[float, ...] = (0.4, 0.45, 0.15),
+        seed: int = 0,
+    ) -> None:
+        if len(archetypes) != len(weights):
+            raise ValueError("archetypes and weights must align")
+        if not archetypes:
+            raise ValueError("population needs at least one archetype")
+        self.archetypes = archetypes
+        self.weights = weights
+        self.seed = seed
+
+    def archetype_of(self, user_id: int) -> UserArchetype:
+        """The archetype a user id maps to (stable across calls)."""
+        rng = ReproRng(self.seed).fork(f"user:{user_id}")
+        return rng.choice(list(self.archetypes), weights=list(self.weights))
+
+    def user_gestures(
+        self, game_name: str, user_id: int, session: int, duration_s: float
+    ) -> List[Event]:
+        """One user's gestures for one session, styled by archetype.
+
+        Tempo is applied by generating a longer/shorter raw timeline and
+        compressing it into the requested duration, which scales event
+        rates without distorting the habit structure.
+        """
+        archetype = self.archetype_of(user_id)
+        rng = ReproRng(self.seed).fork(f"{game_name}:{user_id}:{session}")
+        raw_duration = duration_s * archetype.tempo
+        events = behavior_for(game_name).gestures(rng, raw_duration)
+        compressed = []
+        for event in events:
+            compressed.append(
+                Event(
+                    event.event_type,
+                    event.values,
+                    sequence=event.sequence,
+                    timestamp=event.timestamp / archetype.tempo,
+                )
+            )
+        return compressed
+
+    def user_trace(
+        self, game_name: str, user_id: int, session: int, duration_s: float
+    ) -> RecordedTrace:
+        """A full recorded session for one user (gestures + ticks).
+
+        The effective session length follows the archetype's preference.
+        """
+        archetype = self.archetype_of(user_id)
+        effective = duration_s * archetype.session_scale
+        gestures = self.user_gestures(game_name, user_id, session, effective)
+        tracer = EventTracer(game_name, seed=user_id * 10_000 + session)
+        for event in assemble_events(game_name, gestures, effective):
+            tracer.record(event)
+        return tracer.trace
+
+    def census(self, user_count: int) -> Dict[str, int]:
+        """How many of the first N users land in each archetype."""
+        counts: Dict[str, int] = {a.name: 0 for a in self.archetypes}
+        for user_id in range(user_count):
+            counts[self.archetype_of(user_id).name] += 1
+        return counts

@@ -1,0 +1,72 @@
+"""Session event-trace generation.
+
+Combines a game's user-behaviour gestures with the choreographer frame
+ticks the game subscribes to, orders everything by timestamp, and
+assigns sequence numbers — producing the same event stream shape the
+device-side tracer would record during real play.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.events import Event, EventType, make_frame_tick
+from repro.android.tracing import EventTracer, RecordedTrace
+from repro.games.registry import create_game
+from repro.rng import ReproRng
+from repro.users.behavior import behavior_for
+
+#: Choreographer callback rate for subscribed games.
+TICK_HZ = 60.0
+
+
+def _frame_ticks(duration_s: float) -> List[Event]:
+    """The vsync tick stream for one session."""
+    ticks = []
+    count = int(duration_s * TICK_HZ)
+    for index in range(count):
+        ticks.append(
+            make_frame_tick(delta_ms=16, slot=index % 4, timestamp=index / TICK_HZ)
+        )
+    return ticks
+
+
+def assemble_events(
+    game_name: str, gestures: List[Event], duration_s: float
+) -> List[Event]:
+    """Merge user gestures with the game's frame ticks and order them.
+
+    Events carry strictly increasing sequence numbers; ties in timestamp
+    are broken deterministically by event type.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    events = [event for event in gestures if event.timestamp < duration_s]
+    game = create_game(game_name, seed=0)
+    if EventType.FRAME_TICK in game.handled_event_types:
+        events.extend(_frame_ticks(duration_s))
+    events.sort(key=lambda event: (event.timestamp, event.event_type.value))
+    ordered = []
+    for sequence, event in enumerate(events, start=1):
+        ordered.append(
+            Event(event.event_type, event.values, sequence=sequence,
+                  timestamp=event.timestamp)
+        )
+    return ordered
+
+
+def generate_events(game_name: str, seed: int, duration_s: float) -> List[Event]:
+    """The full ordered event stream for one session."""
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    rng = ReproRng(seed).fork(f"user:{game_name}")
+    gestures = behavior_for(game_name).gestures(rng, duration_s)
+    return assemble_events(game_name, gestures, duration_s)
+
+
+def generate_trace(game_name: str, seed: int, duration_s: float) -> RecordedTrace:
+    """The same stream packaged as a device recording (for the cloud)."""
+    tracer = EventTracer(game_name=game_name, seed=seed)
+    for event in generate_events(game_name, seed, duration_s):
+        tracer.record(event)
+    return tracer.trace

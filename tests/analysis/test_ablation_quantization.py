@@ -1,0 +1,45 @@
+"""Tests for the quantization ablation driver."""
+
+import pytest
+
+from repro.analysis.ablation_quantization import (
+    _requantise,
+    run_quantization_ablation,
+)
+
+
+class TestRequantise:
+    def test_ints_floor_to_grid(self):
+        assert _requantise(37, 8) == 32
+        assert _requantise(37, 1) == 37
+
+    def test_floats_round_to_grid(self):
+        assert _requantise(7.6, 2) == 8.0
+
+    def test_bools_and_strings_untouched(self):
+        assert _requantise(True, 8) is True
+        assert _requantise("up", 8) == "up"
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_quantization_ablation(duration_s=30.0, factors=(1, 4, 16))
+
+    def test_one_point_per_factor(self, sweep):
+        assert [point.factor for point in sweep.points] == [1, 4, 16]
+
+    def test_coarser_means_fewer_keys(self, sweep):
+        keys = [point.distinct_keys for point in sweep.points]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_coarser_means_more_repeats(self, sweep):
+        repeats = [point.repeat_fraction for point in sweep.points]
+        assert repeats == sorted(repeats)
+
+    def test_fractions_bounded(self, sweep):
+        for point in sweep.points:
+            assert 0.0 <= point.ambiguous_fraction <= point.repeat_fraction <= 1.0
+
+    def test_renders(self, sweep):
+        assert "coarsening" in sweep.to_text()

@@ -1,0 +1,205 @@
+"""Tests for the experiment drivers and report rendering."""
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.analysis.fig2_energy_breakdown import run_fig2
+from repro.analysis.fig3_battery_drain import idle_battery_hours, run_fig3
+from repro.analysis.fig4_useless_events import run_fig4
+from repro.analysis.fig6_table_size import run_fig6
+from repro.analysis.fig7_io_characteristics import run_fig7
+from repro.analysis.fig8_event_only import run_fig8
+from repro.analysis.report import pct, render_table
+from repro.analysis.table1_optimization_scope import run_table1
+from repro.games.registry import GAME_NAMES
+
+SHORT = 20.0
+
+
+class TestReport:
+    def test_render_basic(self):
+        text = render_table(["a", "bb"], [[1, 2], [30, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_pct(self):
+        assert pct(0.1234) == "12.3%"
+        assert pct(0.1234, 2) == "12.34%"
+
+    def test_doctest_shape(self):
+        text = render_table(["a", "b"], [[1, 2]])
+        assert text == "a | b\n--+--\n1 | 2"
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        paper = {
+            "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
+            "fig9", "fig11", "fig12", "table1",
+        }
+        extensions = {"summary", "components", "quantization"}
+        assert set(EXPERIMENTS) == paper | extensions
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("table1", duration_s=10.0)
+        assert result.whole_chain_fraction == 1.0
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_fig2(duration_s=SHORT)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(duration_s=SHORT)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    # Fig. 4 statistics need enough gesture mass to stabilise.
+    return run_fig4(duration_s=30.0)
+
+
+class TestFig2:
+    def test_covers_all_games(self, fig2):
+        assert [item.game_name for item in fig2.breakdowns] == list(GAME_NAMES)
+
+    def test_sensors_plus_memory_small(self, fig2):
+        # Paper: sensors + memory stay under ~10%.
+        assert all(item.sensors_plus_memory < 0.12 for item in fig2.breakdowns)
+
+    def test_cpu_and_ips_split_the_rest(self, fig2):
+        for item in fig2.breakdowns:
+            assert 0.30 < item.cpu < 0.65
+            assert 0.30 < item.ip < 0.65
+
+    def test_fractions_sum_to_one(self, fig2):
+        for item in fig2.breakdowns:
+            total = item.cpu + item.ip + item.memory + item.sensor
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_renders(self, fig2):
+        assert "colorphun" in fig2.to_text()
+
+
+class TestFig3:
+    def test_idle_near_twenty_hours(self, fig3):
+        assert 15.0 < fig3.idle_hours < 25.0
+        assert idle_battery_hours() == pytest.approx(fig3.idle_hours, rel=0.05)
+
+    def test_lightest_game_drains_hours_band(self, fig3):
+        lightest = fig3.by_game()["colorphun"]
+        assert 7.0 < lightest.battery_hours < 11.0
+
+    def test_heaviest_game_near_three_hours(self, fig3):
+        heaviest = fig3.by_game()["race_kings"]
+        assert 2.5 < heaviest.battery_hours < 4.5
+
+    def test_drain_monotone_with_complexity(self, fig3):
+        hours = [row.battery_hours for row in fig3.rows]
+        assert hours == sorted(hours, reverse=True)
+
+    def test_heavy_game_drains_much_faster_than_idle(self, fig3):
+        # Paper: ~6x faster than the idle phone.
+        assert 4.0 < fig3.drain_speedup_vs_idle < 9.0
+
+    def test_renders(self, fig3):
+        assert "idle phone" in fig3.to_text()
+
+
+class TestFig4:
+    def test_useless_band_matches_paper(self, fig4):
+        # Paper: 17% to 43% across the seven games.
+        for row in fig4.rows:
+            assert 0.10 < row.useless_fraction < 0.50
+
+    def test_ab_evolution_is_the_worst(self, fig4):
+        # Paper: AB Evolution peaks at 43% (catapult at max stretch).
+        ab = fig4.by_game()["ab_evolution"].useless_fraction
+        assert ab == max(row.useless_fraction for row in fig4.rows)
+
+    def test_waste_follows_uselessness(self, fig4):
+        assert all(row.wasted_energy_fraction > 0 for row in fig4.rows)
+
+    def test_renders(self, fig4):
+        assert "% useless events" in fig4.to_text()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return run_fig6(duration_s=60.0)
+
+    def test_table_is_megabytes_for_few_percent(self, fig6):
+        assert fig6.final_bytes > 5_000_000
+        assert fig6.final_coverage < 0.10
+
+    def test_projection_crosses_memory_capacity(self, fig6):
+        # Paper: the naive table exceeds phone memory almost immediately.
+        crossing = fig6.exceeds_memory_at()
+        assert crossing is not None and crossing < 0.05
+
+    def test_curve_in_result_matches_table(self, fig6):
+        assert fig6.curve[-1].table_bytes_with_outputs == fig6.final_bytes
+
+    def test_renders(self, fig6):
+        assert "paper-scale" in fig6.to_text()
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return run_fig7(duration_s=60.0)
+
+    def test_event_inputs_small_and_ubiquitous(self, fig7):
+        inputs = fig7.inputs["in_event"]
+        assert inputs.occurrence_fraction > 0.95
+        assert 2 <= inputs.min_bytes <= inputs.max_bytes <= 640
+
+    def test_history_inputs_spread_widely(self, fig7):
+        # Paper: ~600 B to ~119 kB.
+        history = fig7.inputs["in_history"]
+        assert history.max_bytes > 50 * history.min_bytes
+
+    def test_extern_inputs_rare_but_huge(self, fig7):
+        extern = fig7.inputs["in_extern"]
+        assert extern.occurrence_fraction < 0.01
+        assert extern.max_bytes >= 1_000_000
+
+    def test_temp_outputs_small(self, fig7):
+        temp = fig7.outputs["out_temp"]
+        assert temp.max_bytes <= 150  # few tiles, each < 64 B
+
+    def test_renders(self, fig7):
+        assert "(a) inputs" in fig7.to_text()
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return run_fig8(duration_s=90.0)
+
+    def test_table_much_smaller_than_naive(self, fig8):
+        assert fig8.size_ratio < 0.05
+
+    def test_coverage_with_errors(self, fig8):
+        assert 0.05 < fig8.stats.coverage < 0.60
+        assert fig8.stats.erroneous_fraction > 0.02
+
+    def test_fatal_errors_dominate(self, fig8):
+        # Paper: a majority of wrong short-circuits corrupt state.
+        assert fig8.state_error_share > 0.5
+        assert fig8.state_error_share + fig8.temp_error_share == pytest.approx(1.0)
+
+    def test_renders(self, fig8):
+        assert "erroneous outputs" in fig8.to_text()

@@ -1,0 +1,47 @@
+"""Tests for the per-component-group savings driver."""
+
+import pytest
+
+from repro.analysis.component_savings import ComponentSavings
+from repro.soc.component import ComponentGroup
+
+
+class TestComponentSavingsMath:
+    @pytest.fixture()
+    def savings(self):
+        return ComponentSavings(
+            game_name="toy",
+            baseline_by_group={
+                ComponentGroup.CPU: 50.0,
+                ComponentGroup.IP: 40.0,
+                ComponentGroup.MEMORY: 8.0,
+                ComponentGroup.SENSOR: 2.0,
+            },
+            snip_by_group={
+                ComponentGroup.CPU: 30.0,
+                ComponentGroup.IP: 30.0,
+                ComponentGroup.MEMORY: 7.0,
+                ComponentGroup.SENSOR: 2.0,
+            },
+        )
+
+    def test_saved_joules(self, savings):
+        assert savings.saved_joules(ComponentGroup.CPU) == pytest.approx(20.0)
+        assert savings.saved_joules(ComponentGroup.SENSOR) == 0.0
+
+    def test_savings_fraction(self, savings):
+        assert savings.savings_fraction(ComponentGroup.CPU) == pytest.approx(0.4)
+        assert savings.savings_fraction(ComponentGroup.IP) == pytest.approx(0.25)
+
+    def test_total(self, savings):
+        assert savings.total_savings_fraction == pytest.approx(31.0 / 100.0)
+
+    def test_empty_group_guard(self, savings):
+        savings.baseline_by_group.pop(ComponentGroup.SENSOR)
+        savings.snip_by_group.pop(ComponentGroup.SENSOR)
+        assert savings.savings_fraction(ComponentGroup.SENSOR) == 0.0
+
+    def test_renders_total_row(self, savings):
+        text = savings.to_text()
+        assert "total" in text
+        assert "cpu" in text

@@ -1,0 +1,76 @@
+"""Unit tests for Fig. 6 result helpers with a synthetic curve."""
+
+import pytest
+
+from repro.analysis.fig6_table_size import Fig6Result, PAPER_SCALE_FACTOR
+from repro.memo.naive import CoveragePoint
+from repro.units import TYPICAL_MEMORY_BYTES
+
+
+class _FakeTable:
+    def __init__(self, curve):
+        self._curve = curve
+
+    @property
+    def total_bytes(self):
+        return self._curve[-1].table_bytes_with_outputs
+
+    @property
+    def coverage(self):
+        return self._curve[-1].coverage
+
+    def bytes_needed_for_coverage(self, coverage, with_outputs=True):
+        for point in self._curve:
+            if point.coverage >= coverage:
+                return (point.table_bytes_with_outputs if with_outputs
+                        else point.table_bytes_input_only)
+        raise ValueError("unreached")
+
+
+def _point(events, input_bytes, total_bytes, coverage):
+    return CoveragePoint(
+        events_seen=events,
+        table_bytes_input_only=input_bytes,
+        table_bytes_with_outputs=total_bytes,
+        coverage=coverage,
+    )
+
+
+@pytest.fixture()
+def result():
+    curve = [
+        _point(1, 1_000, 1_200, 0.0),
+        _point(100, 2_000_000, 2_400_000, 0.005),
+        _point(500, 10_000_000, 12_000_000, 0.02),
+    ]
+    return Fig6Result(game_name="toy", table=_FakeTable(curve), curve=curve)
+
+
+class TestFig6Helpers:
+    def test_final_accessors(self, result):
+        assert result.final_bytes == 12_000_000
+        assert result.final_coverage == 0.02
+
+    def test_bytes_at_coverage(self, result):
+        assert result.bytes_at_coverage(0.004) == 2_400_000
+        assert result.bytes_at_coverage(0.5) is None
+
+    def test_projection_scales_linearly(self, result):
+        point = result.curve[1]
+        assert result.paper_scale_projection(point) == \
+            point.table_bytes_with_outputs * PAPER_SCALE_FACTOR
+
+    def test_memory_crossing_found(self, result):
+        crossing = result.exceeds_memory_at()
+        assert crossing is not None
+        # Point 1 projects to ~1.9 GB (below memory); point 2 to ~9.6 GB.
+        assert result.paper_scale_projection(result.curve[1]) < TYPICAL_MEMORY_BYTES
+        assert result.paper_scale_projection(result.curve[2]) > TYPICAL_MEMORY_BYTES
+        assert crossing == pytest.approx(0.02)
+
+    def test_sdcard_crossing_may_not_exist(self, result):
+        assert result.exceeds_sdcard_at() is None or \
+            result.exceeds_sdcard_at() <= 0.02
+
+    def test_renders(self, result):
+        assert "paper-scale" in result.to_text()

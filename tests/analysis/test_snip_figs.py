@@ -1,0 +1,115 @@
+"""Tests for the SNIP evaluation figures (9, 11, 12)."""
+
+import pytest
+
+from repro.analysis.fig9_pfi_trimming import run_fig9
+from repro.analysis.fig11_energy_benefits import run_fig11
+from repro.analysis.fig12_continuous_learning import run_fig12
+from repro.games.base import InputCategory
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return run_fig9(seeds=(1, 2), duration_s=30.0)
+
+    def test_starts_at_full_accuracy(self, fig9):
+        assert fig9.points[0].error == pytest.approx(0.0, abs=1e-9)
+
+    def test_necessary_inputs_are_a_sliver(self, fig9):
+        # Paper: ~0.2% of the input record suffices.
+        assert fig9.necessary_fraction < 0.02
+        assert fig9.necessary_bytes < 4096
+
+    def test_error_explodes_once_necessary_fields_go(self, fig9):
+        # The deep end of the walk (almost nothing kept) is far worse
+        # than the plateau around the selection's byte budget.
+        deep_end = fig9.points[-1].error
+        assert deep_end > 0.25
+
+    def test_event_category_survives(self, fig9):
+        # Fig. 9's right-most bars are In.Event fields.
+        split = fig9.necessary_category_bytes
+        assert split[InputCategory.EVENT] > 0
+
+    def test_error_at_bytes_lookup(self, fig9):
+        assert fig9.error_at_bytes(fig9.points[0].bytes_kept) is not None
+        assert fig9.error_at_bytes(-1) is None
+
+    def test_renders(self, fig9):
+        text = fig9.to_text()
+        assert "bytes kept" in text and "necessary inputs" in text
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def fig11(self):
+        # Three representative games keep the test affordable: the
+        # lightest, the paper's flagship, and the heaviest.
+        return run_fig11(
+            games=("colorphun", "ab_evolution", "race_kings"),
+            seed=7,
+            duration_s=40.0,
+        )
+
+    def test_snip_savings_in_band(self, fig11):
+        for item in fig11.comparisons:
+            assert 0.15 < item.savings("snip") < 0.45
+
+    def test_partial_schemes_stay_small(self, fig11):
+        for item in fig11.comparisons:
+            assert item.savings("max_cpu") < 0.16
+            assert item.savings("max_ip") < 0.16
+
+    def test_snip_beats_partial_schemes_everywhere(self, fig11):
+        for item in fig11.comparisons:
+            assert item.savings("snip") > item.savings("max_cpu")
+            assert item.savings("snip") > item.savings("max_ip")
+
+    def test_coverage_band(self, fig11):
+        for item in fig11.comparisons:
+            assert 0.30 < item.coverage("snip") < 0.75
+
+    def test_no_overheads_is_the_headroom(self, fig11):
+        for item in fig11.comparisons:
+            assert item.savings("no_overheads") >= item.savings("snip") - 1e-6
+            assert item.snip_overhead_fraction < 0.08
+
+    def test_battery_hours_extended(self, fig11):
+        assert fig11.average_extra_battery_hours > 0.5
+
+    def test_race_kings_least_coverable(self, fig11):
+        by_game = fig11.by_game()
+        assert by_game["race_kings"].coverage("snip") == min(
+            item.coverage("snip") for item in fig11.comparisons
+        )
+
+    def test_renders(self, fig11):
+        text = fig11.to_text()
+        assert "(a) energy benefits" in text
+        assert "(c) SNIP overheads" in text
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def fig12(self):
+        return run_fig12(
+            game_name="colorphun",
+            epochs=4,
+            session_duration_s=15.0,
+            initial_events=40,
+            ramp=2.5,
+        )
+
+    def test_initial_error_heavy(self, fig12):
+        # Paper: ~40% erroneous output fields on the starved profile.
+        assert fig12.initial_error > 0.10
+
+    def test_final_error_negligible(self, fig12):
+        assert fig12.final_error < 0.01
+
+    def test_convergence_epoch_found(self, fig12):
+        assert fig12.converged_epoch is not None
+
+    def test_renders(self, fig12):
+        assert "% erroneous fields" in fig12.to_text()

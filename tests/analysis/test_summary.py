@@ -1,0 +1,26 @@
+"""Tests for the one-shot reproduction summary."""
+
+import pytest
+
+from repro.analysis.summary import run_summary
+
+
+class TestSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run_summary(duration_s=30.0)
+
+    def test_all_quick_checks_hold(self, summary):
+        failing = [claim for claim, _, _, holds in summary.checks() if not holds]
+        assert not failing, f"deviating checks: {failing}"
+
+    def test_eight_checks(self, summary):
+        assert len(summary.checks()) == 8
+
+    def test_all_hold_flag(self, summary):
+        assert summary.all_hold
+
+    def test_renders_verdicts(self, summary):
+        text = summary.to_text()
+        assert "verdict" in text
+        assert "OK" in text

@@ -1,0 +1,59 @@
+"""Tests for the Out.Temp UX-impact estimate."""
+
+import pytest
+
+from repro.analysis.ux_impact import (
+    REACTION_SECONDS,
+    estimate_ux_impact,
+    render_ux_table,
+)
+
+
+class TestUxImpact:
+    def test_sixty_hz_glitches_invisible(self):
+        # The paper's core argument: <16 ms of wrong tile vs ~250 ms of
+        # reaction time.
+        estimate = estimate_ux_impact("candy_crush", temp_error_rate=0.01)
+        assert not estimate.perceivable
+        assert estimate.glitch_seconds_visible < REACTION_SECONDS
+
+    def test_static_surface_glitches_are_visible(self):
+        estimate = estimate_ux_impact(
+            "menu", temp_error_rate=0.01, refresh_rate_hz=0.0,
+            events_per_second=1.0,
+        )
+        assert estimate.perceivable
+        assert estimate.perceived_glitches_per_minute == pytest.approx(0.6)
+
+    def test_low_error_rate_means_vanishing_perception(self):
+        estimate = estimate_ux_impact("ab_evolution", temp_error_rate=0.01)
+        # The streak of 15 consecutive glitched frames needed to fill a
+        # reaction window is astronomically unlikely at 1% error.
+        assert estimate.perceived_glitches_per_minute < 1e-20
+
+    def test_high_error_rate_becomes_noticeable(self):
+        bad = estimate_ux_impact("broken", temp_error_rate=0.9)
+        good = estimate_ux_impact("fine", temp_error_rate=0.01)
+        assert bad.perceived_glitches_per_minute > \
+            good.perceived_glitches_per_minute
+
+    def test_glitch_rate_scales_with_events(self):
+        slow = estimate_ux_impact("g", 0.1, events_per_second=10.0)
+        fast = estimate_ux_impact("g", 0.1, events_per_second=100.0)
+        assert fast.glitches_per_minute == pytest.approx(
+            10 * slow.glitches_per_minute
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_ux_impact("g", temp_error_rate=1.5)
+        with pytest.raises(ValueError):
+            estimate_ux_impact("g", 0.1, events_per_second=-1.0)
+
+    def test_render(self):
+        table = render_ux_table([
+            estimate_ux_impact("candy_crush", 0.01),
+            estimate_ux_impact("menu", 0.01, refresh_rate_hz=0.0),
+        ])
+        assert "perceivable" in table
+        assert "candy_crush" in table

@@ -1,0 +1,125 @@
+"""Tests for event objects and schemas."""
+
+import pytest
+
+from repro.android.events import (
+    EVENT_SCHEMAS,
+    Event,
+    EventType,
+    make_camera_frame,
+    make_frame_tick,
+    make_gps,
+    make_gyro,
+    make_multi_touch,
+    make_swipe,
+    make_touch,
+    schema_for,
+)
+from repro.errors import EventError, UnknownEventTypeError
+
+
+class TestSchemas:
+    def test_every_type_has_schema(self):
+        assert set(EVENT_SCHEMAS) == set(EventType)
+
+    def test_schema_sizes_span_paper_range(self):
+        # Fig. 7a: In.Event records run from 2 B to 640 B.
+        sizes = [schema.nbytes for schema in EVENT_SCHEMAS.values()]
+        assert min(sizes) == 2
+        assert max(sizes) == 640
+
+    def test_camera_frame_is_largest(self):
+        assert schema_for(EventType.CAMERA_FRAME).nbytes == 640
+
+    def test_frame_tick_is_smallest(self):
+        assert schema_for(EventType.FRAME_TICK).nbytes == 2
+
+    def test_field_names_unique(self):
+        for schema in EVENT_SCHEMAS.values():
+            names = schema.field_names
+            assert len(set(names)) == len(names)
+
+    def test_spec_lookup(self):
+        spec = schema_for(EventType.TOUCH).spec("x")
+        assert spec.nbytes == 2
+
+    def test_spec_unknown_field(self):
+        with pytest.raises(EventError):
+            schema_for(EventType.TOUCH).spec("bogus")
+
+    def test_unknown_event_type(self):
+        with pytest.raises(UnknownEventTypeError):
+            schema_for("not_a_type")
+
+
+class TestQuantisation:
+    def test_touch_coordinates_snap_to_grid(self):
+        a = make_touch(100, 207)
+        b = make_touch(97, 200)  # same 32-px digitizer cell
+        assert a.field("x") == b.field("x")
+        assert a.field("y") == b.field("y")
+
+    def test_indistinguishable_events_equal(self):
+        assert make_touch(100, 200) == make_touch(98, 201)
+
+    def test_distinguishable_events_differ(self):
+        assert make_touch(100, 200) != make_touch(400, 200)
+
+    def test_equal_events_hash_equal(self):
+        assert hash(make_touch(100, 200)) == hash(make_touch(98, 201))
+
+    def test_float_resolution(self):
+        event = make_gyro(10.7, 91.2, 1.0, 3.0)
+        assert event.field("alpha") % 4.0 == pytest.approx(0.0)
+
+    def test_action_not_quantised(self):
+        assert make_touch(0, 0, action=1).field("action") == 1
+
+
+class TestEventConstruction:
+    def test_missing_field_rejected(self):
+        with pytest.raises(EventError):
+            Event(EventType.TOUCH, {"x": 1})
+
+    def test_extra_field_rejected(self):
+        values = dict(make_touch(1, 2).values)
+        values["bogus"] = 1
+        with pytest.raises(EventError):
+            Event(EventType.TOUCH, values)
+
+    def test_unknown_field_read_rejected(self):
+        with pytest.raises(EventError):
+            make_touch(1, 2).field("bogus")
+
+    def test_key_follows_schema_order(self):
+        event = make_touch(64, 128, pressure=0.5, action=0, pointer_id=3)
+        assert event.key() == (64, 128, 0.5, 0, 3)
+
+    def test_nbytes_matches_schema(self):
+        assert make_swipe(0, 0, 100, 100, 500.0, 2, 100).nbytes == \
+            schema_for(EventType.SWIPE).nbytes
+
+    def test_camera_frame_requires_25_rois(self):
+        with pytest.raises(EventError):
+            make_camera_frame(1, 10, 5, roi_values=[1, 2, 3])
+
+    def test_camera_frame_roundtrip(self):
+        event = make_camera_frame(1, 10, 5, roi_values=list(range(25)))
+        assert event.field("roi_24") == 24
+
+    def test_constructors_cover_types(self):
+        made = [
+            make_touch(1, 2),
+            make_swipe(0, 0, 1, 1, 100.0, 0, 50),
+            make_multi_touch(0, 0, 1, 1, 0, 5.0),
+            make_gyro(0.0, 0.0, 0.0, 0.0),
+            make_camera_frame(0, 0, 0, roi_values=[0] * 25),
+            make_gps(1, 2),
+            make_frame_tick(),
+        ]
+        assert {event.event_type for event in made} == set(EventType)
+
+    def test_sequence_and_timestamp_carried(self):
+        event = make_touch(1, 2, sequence=9, timestamp=1.5)
+        assert event.sequence == 9
+        assert event.timestamp == 1.5

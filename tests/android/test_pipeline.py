@@ -1,0 +1,126 @@
+"""Tests for the sensor hub, SensorManager, Binder, and event loop."""
+
+import pytest
+
+from repro.android.binder import BINDER_TRANSACTION_CYCLES, Binder
+from repro.android.dispatch import EventLoop, charge_delivery, charge_trace
+from repro.android.events import EventType, make_frame_tick, make_gyro, make_touch
+from repro.android.sensor_hub import SensorHub
+from repro.android.sensor_manager import SensorManager
+from repro.games.registry import create_game
+from repro.soc.soc import SENSOR_GYRO, SENSOR_TOUCH, snapdragon_821
+
+
+@pytest.fixture()
+def soc():
+    return snapdragon_821()
+
+
+class TestSensorHub:
+    def test_touch_burst_samples_touch_panel(self, soc):
+        hub = SensorHub(soc)
+        samples = hub.capture(make_touch(1, 2))
+        assert len(samples) == 2
+        assert soc.sensor(SENSOR_TOUCH).sample_count == 2
+
+    def test_gyro_burst_uses_two_sensors(self, soc):
+        hub = SensorHub(soc)
+        samples = hub.capture(make_gyro(0, 0, 0, 0))
+        sensors = {sample.sensor for sample in samples}
+        assert SENSOR_GYRO in sensors
+        assert len(samples) == 20
+
+    def test_frame_tick_skips_sensors(self, soc):
+        hub = SensorHub(soc)
+        assert hub.capture(make_frame_tick()) == ()
+        assert soc.meter.total_joules == 0.0
+
+    def test_capture_invokes_hub_ip(self, soc):
+        hub = SensorHub(soc)
+        hub.capture(make_touch(1, 2))
+        assert soc.ip("sensor_hub").invocation_count == 1
+
+    def test_events_captured_counter(self, soc):
+        hub = SensorHub(soc)
+        hub.capture(make_touch(1, 2))
+        hub.capture(make_frame_tick())
+        assert hub.events_captured == 2
+
+    def test_every_event_type_has_burst(self, soc):
+        hub = SensorHub(soc)
+        for event_type in EventType:
+            assert hub.burst_for(event_type) is not None
+
+
+class TestSensorManager:
+    def test_synthesis_charges_little_cores(self, soc):
+        manager = SensorManager(soc)
+        event = make_touch(1, 2)
+        manager.synthesize(event, samples=())
+        assert soc.cpu.little_cycles_executed > 0
+        assert soc.cpu.big_cycles_executed == 0
+
+    def test_synthesis_cost_grows_with_samples(self, soc):
+        manager = SensorManager(soc)
+        hub = SensorHub(soc)
+        event = make_gyro(0, 0, 0, 0)
+        samples = hub.capture(event)
+        before = soc.cpu.little_cycles_executed
+        manager.synthesize(event, samples)
+        with_samples = soc.cpu.little_cycles_executed - before
+        assert with_samples > manager.synthesis_cycles(EventType.GYRO)
+
+    def test_counter(self, soc):
+        manager = SensorManager(soc)
+        manager.synthesize(make_touch(1, 2), samples=())
+        assert manager.events_synthesized == 1
+
+
+class TestBinder:
+    def test_transfer_charges_ipc(self, soc):
+        binder = Binder(soc)
+        event = make_touch(1, 2)
+        binder.transfer(event)
+        assert soc.cpu.little_cycles_executed == BINDER_TRANSACTION_CYCLES
+        assert soc.memory.bytes_moved == 2 * event.nbytes
+
+    def test_counters(self, soc):
+        binder = Binder(soc)
+        binder.transfer(make_touch(1, 2))
+        binder.transfer(make_touch(3, 4))
+        assert binder.transaction_count == 2
+        assert binder.bytes_transferred == 2 * make_touch(1, 2).nbytes
+
+
+class TestChargeTrace:
+    def test_charges_all_work(self, soc):
+        game = create_game("colorphun")
+        game.advance_engine(make_frame_tick())
+        trace = game.process(make_frame_tick())
+        charge_trace(soc, trace)
+        assert soc.cpu.total_cycles_executed == trace.total_cycles
+        assert soc.ip("gpu").invocation_count >= 1
+
+    def test_charge_delivery_full_path(self, soc):
+        hub, manager, binder = SensorHub(soc), SensorManager(soc), Binder(soc)
+        charge_delivery(soc, hub, manager, binder, make_touch(1, 2))
+        assert binder.transaction_count == 1
+        assert soc.meter.total_joules > 0
+
+
+class TestEventLoop:
+    def test_deliver_processes_and_charges(self, soc):
+        game = create_game("colorphun")
+        loop = EventLoop(soc, game)
+        trace = loop.deliver(make_touch(700, 400, sequence=1))
+        assert trace is not None
+        assert loop.events_delivered == 1
+        assert soc.meter.total_joules > 0
+
+    def test_deliver_charges_upkeep(self, soc):
+        game = create_game("colorphun")
+        loop = EventLoop(soc, game)
+        tick = make_frame_tick(sequence=1)
+        loop.deliver(tick)
+        upkeep = game.upkeep_cycles_for(EventType.FRAME_TICK)
+        assert soc.cpu.big_cycles_executed >= upkeep

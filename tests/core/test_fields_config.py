@@ -1,0 +1,104 @@
+"""Tests for the input-location schema and SNIP configuration."""
+
+import pytest
+
+from repro.android.events import EventType
+from repro.core.config import SnipConfig
+from repro.core.fields import (
+    category_bytes,
+    input_universe,
+    record_inputs,
+    records_by_event_type,
+    universe_bytes,
+)
+from repro.errors import ConfigurationError
+from repro.games.base import InputCategory
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = SnipConfig()
+        assert config.table_consistency == 0.98
+        assert config.online_warmup == 2
+
+    def test_forest_params_validated(self):
+        with pytest.raises(ConfigurationError):
+            SnipConfig(forest_trees=0)
+
+    def test_lookup_costs_validated(self):
+        with pytest.raises(ConfigurationError):
+            SnipConfig(lookup_base_cycles=-1)
+
+    def test_consistency_validated(self):
+        with pytest.raises(ConfigurationError):
+            SnipConfig(table_consistency=0.4)
+
+    def test_warmup_validated(self):
+        with pytest.raises(ConfigurationError):
+            SnipConfig(online_warmup=-1)
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ConfigurationError):
+            SnipConfig(selection_epsilon=0.9)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SnipConfig().table_consistency = 0.5
+
+
+class TestFields:
+    def test_grouping_by_event_type(self, ab_records):
+        grouped = records_by_event_type(ab_records)
+        assert EventType.MULTI_TOUCH in grouped
+        assert sum(len(group) for group in grouped.values()) == len(ab_records)
+
+    def test_universe_covers_all_categories(self, ab_records):
+        grouped = records_by_event_type(ab_records)
+        universe = input_universe(EventType.MULTI_TOUCH, grouped[EventType.MULTI_TOUCH])
+        categories = {info.category for info in universe}
+        assert InputCategory.EVENT in categories
+        assert InputCategory.HISTORY in categories
+
+    def test_universe_event_fields_match_schema(self, ab_records):
+        from repro.android.events import schema_for
+
+        grouped = records_by_event_type(ab_records)
+        universe = input_universe(EventType.SWIPE, grouped[EventType.SWIPE])
+        event_fields = [
+            info.name for info in universe if info.category is InputCategory.EVENT
+        ]
+        expected = [f"event:{name}" for name in schema_for(EventType.SWIPE).field_names]
+        assert event_fields == expected
+
+    def test_universe_history_uses_max_size(self, ab_records):
+        grouped = records_by_event_type(ab_records)
+        universe = input_universe(EventType.FRAME_TICK, grouped[EventType.FRAME_TICK])
+        layout = next(info for info in universe if info.name == "hist:level_layout")
+        observed = max(
+            dict(record.state_snapshot)["level_layout"][1]
+            for record in grouped[EventType.FRAME_TICK]
+        )
+        assert layout.nbytes == observed
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            input_universe(EventType.TOUCH, [])
+
+    def test_record_inputs_prefixes(self, ab_records):
+        inputs = record_inputs(ab_records[0])
+        assert any(name.startswith("event:") for name in inputs)
+        assert any(name.startswith("hist:") for name in inputs)
+
+    def test_record_inputs_values_match_snapshot(self, ab_records):
+        record = ab_records[0]
+        inputs = record_inputs(record)
+        for name, (value, _) in record.state_snapshot:
+            assert inputs[f"hist:{name}"] == value
+
+    def test_universe_bytes_and_categories(self, ab_records):
+        grouped = records_by_event_type(ab_records)
+        universe = input_universe(EventType.MULTI_TOUCH, grouped[EventType.MULTI_TOUCH])
+        total = universe_bytes(universe)
+        split = category_bytes(universe)
+        assert total == sum(split.values())
+        assert split[InputCategory.HISTORY] > split[InputCategory.EVENT]

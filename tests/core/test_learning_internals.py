@@ -1,0 +1,84 @@
+"""Unit tests for the continuous-learning machinery's internals."""
+
+import pytest
+
+from repro.core.learning import ContinuousLearner
+from repro.users.tracegen import generate_trace
+
+
+class TestDataStarvation:
+    def test_available_events_ramp(self):
+        learner = ContinuousLearner("colorphun", initial_events=40, ramp=2.0)
+        assert learner._available_events(0) == 40
+        assert learner._available_events(1) == 80
+        assert learner._available_events(3) == 320
+
+    def test_truncation_caps_each_session(self):
+        learner = ContinuousLearner("colorphun")
+        trace = generate_trace("colorphun", seed=1, duration_s=10.0)
+        truncated = learner._truncate(trace, 25)
+        assert len(truncated) == 25
+        assert truncated.game_name == trace.game_name
+        assert truncated.events == trace.events[:25]
+
+    def test_truncation_beyond_length_is_identity(self):
+        learner = ContinuousLearner("colorphun")
+        trace = generate_trace("colorphun", seed=1, duration_s=5.0)
+        assert len(learner._truncate(trace, 10**6)) == len(trace)
+
+
+class TestEpochBookkeeping:
+    def test_traces_accumulate_across_epochs(self):
+        learner = ContinuousLearner(
+            "colorphun", session_duration_s=8.0, initial_events=30, ramp=3.0
+        )
+        learner.run_epoch(0)
+        learner.run_epoch(1)
+        assert len(learner._traces) == 2
+        assert len(learner.history) == 2
+        assert learner.history[0].epoch == 0
+
+    def test_epochs_are_deterministic(self):
+        def run():
+            learner = ContinuousLearner(
+                "colorphun", session_duration_s=8.0, initial_events=30,
+                ramp=3.0, seed=4,
+            )
+            return learner.run_epoch(0)
+
+        first, second = run(), run()
+        assert first.error_fraction == pytest.approx(second.error_fraction)
+        assert first.table_entries == second.table_entries
+
+    def test_ungated_epochs_fire_harder(self):
+        kwargs = dict(
+            session_duration_s=10.0, initial_events=40, ramp=3.0, seed=2
+        )
+        gated = ContinuousLearner("colorphun", **kwargs).run_epoch(0)
+        ungated = ContinuousLearner(
+            "colorphun", ungated_epochs=1, **kwargs
+        ).run_epoch(0)
+        # Without the confidence gate the starved table substitutes far
+        # more aggressively (and pays for it in errors).
+        assert ungated.hit_fraction >= gated.hit_fraction
+        assert ungated.error_fraction >= gated.error_fraction
+
+
+class TestEvaluation:
+    def test_evaluate_counts_every_event(self, ab_package):
+        learner = ContinuousLearner("ab_evolution")
+        trace = generate_trace("ab_evolution", seed=42, duration_s=8.0)
+        hit_fraction, error_fraction = learner.evaluate(ab_package.table, trace)
+        assert 0.0 <= hit_fraction <= 1.0
+        assert 0.0 <= error_fraction <= 1.0
+
+    def test_empty_table_never_errs(self, ab_package):
+        from repro.core.table import SnipTable
+
+        learner = ContinuousLearner("ab_evolution")
+        trace = generate_trace("ab_evolution", seed=42, duration_s=8.0)
+        hit_fraction, error_fraction = learner.evaluate(
+            SnipTable(ab_package.selection), trace
+        )
+        assert hit_fraction == 0.0
+        assert error_fraction == 0.0

@@ -1,0 +1,33 @@
+"""Tests for developer overrides (paper Sec. V-B Option 1)."""
+
+from repro.android.events import EventType
+from repro.core.overrides import DeveloperOverrides
+
+
+class TestDeveloperOverrides:
+    def test_force_per_event_type(self):
+        overrides = DeveloperOverrides()
+        overrides.force("hist:score", EventType.TOUCH)
+        assert overrides.is_forced(EventType.TOUCH, "hist:score")
+        assert not overrides.is_forced(EventType.SWIPE, "hist:score")
+
+    def test_force_everywhere(self):
+        overrides = DeveloperOverrides()
+        overrides.force("hist:score")
+        for event_type in EventType:
+            assert overrides.is_forced(event_type, "hist:score")
+
+    def test_defaults_force_nothing(self):
+        overrides = DeveloperOverrides()
+        assert not overrides.is_forced(EventType.TOUCH, "anything")
+        assert not overrides.tolerate_temp_errors
+
+    def test_temp_tolerance_relaxes_signatures(self, ab_analysis, snip_config):
+        """Marking Out.Temp tolerant can only help the selection error."""
+        from repro.core.selection import table_error
+
+        profile = ab_analysis.profiles[EventType.MULTI_TOUCH]
+        subset = profile.universe[:4]
+        strict = table_error(profile, subset, ignore_temp=False)
+        relaxed = table_error(profile, subset, ignore_temp=True)
+        assert relaxed <= strict + 1e-12

@@ -1,0 +1,135 @@
+"""Ground-truth recovery: selection must find known necessary inputs.
+
+These tests build a tiny synthetic game whose outputs depend on a KNOWN
+subset of inputs, run the full profile -> PFI -> selection pipeline, and
+check that the necessary fields are recovered, the decoys are trimmed,
+and the resulting table generalizes.
+"""
+
+import pytest
+
+from repro.android.emulator import Emulator
+from repro.android.events import EventType, make_touch
+from repro.android.tracing import EventTracer
+from repro.core.config import SnipConfig
+from repro.core.profiler import CloudProfiler
+from repro.core.table import SnipTable
+from repro.games.base import Game, HandlerContext, mix_values
+from repro.rng import ReproRng
+
+
+class OracleGame(Game):
+    """Outputs depend ONLY on (event x-bucket, hist:mode).
+
+    Everything else is decoys: ``noise`` is an engine-maintained wall
+    clock (changes every event, influences nothing), ``constant`` never
+    changes, ``wide_blob`` is a huge engine-maintained buffer that
+    mirrors ``mode`` (the cheap/wide duplicate pair).
+    """
+
+    name = "oracle"
+    handled_event_types = (EventType.TOUCH,)
+
+    def build_state(self) -> None:
+        self.state.declare("mode", 0, 1)
+        self.state.declare("noise", 0, 4)
+        self.state.declare("constant", 7, 4)
+        self.state.declare("wide_blob", 0, 50_000)
+
+    def advance_engine(self, event) -> None:
+        self.state.write("noise", self.state.peek("noise") + 1)
+        self.state.write("wide_blob", self.state.peek("mode"))
+
+    def on_event(self, ctx: HandlerContext) -> None:
+        x = ctx.ev("x")
+        mode = ctx.hist("mode")
+        ctx.cpu(100_000)
+        bucket = x // 480  # three buckets across the screen
+        result = mix_values("f", bucket, mode) % 1000
+        ctx.out_temp("result", result, 8)
+        # Mode flips when the user taps the right edge.
+        new_mode = 1 - mode if bucket == 2 else mode
+        ctx.out_hist("mode", new_mode)
+
+
+def _session(seed: int, events: int = 400):
+    rng = ReproRng(seed)
+    tracer = EventTracer("oracle", seed=seed)
+    for index in range(1, events + 1):
+        tracer.record(
+            make_touch(rng.integer(0, 1440), rng.integer(0, 2560),
+                       sequence=index, timestamp=index * 0.05)
+        )
+    return tracer.trace
+
+
+@pytest.fixture(scope="module")
+def oracle_pipeline():
+    config = SnipConfig()
+    profiler = CloudProfiler(config)
+    records = []
+    for session, seed in enumerate((1, 2, 3)):
+        records.extend(
+            profiler.emulator.replay(OracleGame(seed=0), _session(seed),
+                                     session=session)
+        )
+    analysis = profiler.analyze(records)
+    selection = profiler.select(analysis)
+    table = SnipTable.build(records, selection, config)
+    return config, records, analysis, selection, table
+
+
+class TestGroundTruthRecovery:
+    def test_necessary_fields_recovered(self, oracle_pipeline):
+        _, _, _, selection, _ = oracle_pipeline
+        names = {info.name for info in selection.fields_for(EventType.TOUCH)}
+        assert "event:x" in names
+        # mode's information must be present — either directly or via
+        # its narrow... the blob is 50 kB, so the selection must carry
+        # the 1-byte mode, not the blob.
+        assert "hist:mode" in names
+
+    def test_decoys_trimmed(self, oracle_pipeline):
+        _, _, _, selection, _ = oracle_pipeline
+        names = {info.name for info in selection.fields_for(EventType.TOUCH)}
+        assert "hist:noise" not in names       # wall clock fragments keys
+        assert "hist:wide_blob" not in names   # 50 kB duplicate of mode
+        assert "hist:outputs_count" not in names
+
+    def test_comparison_is_bytes_not_kilobytes(self, oracle_pipeline):
+        _, _, _, selection, _ = oracle_pipeline
+        assert selection.comparison_bytes(EventType.TOUCH) < 64
+
+    def test_pfi_ranks_true_inputs_highly(self, oracle_pipeline):
+        _, _, analysis, _, _ = oracle_pipeline
+        ranked = [imp.name for imp in analysis.importances[EventType.TOUCH]]
+        top_half = set(ranked[: len(ranked) // 2])
+        assert "event:x" in top_half
+
+    def test_table_generalizes_to_unseen_session(self, oracle_pipeline):
+        config, _, _, selection, table = oracle_pipeline
+        emulator = Emulator(verify=False)
+        hits = 0
+        correct = 0
+        for record in emulator.replay(OracleGame(seed=0), _session(99),
+                                      session=9):
+            key = SnipTable.key_for_record(
+                record, selection.fields_for(EventType.TOUCH)
+            )
+            entry = table.lookup(EventType.TOUCH, key)
+            if entry is None:
+                continue
+            hits += 1
+            predicted = {w.name: w.value for w in entry.writes}
+            actual = {w.name: w.value for w in record.trace.writes}
+            if predicted == actual:
+                correct += 1
+        assert hits > 0
+        assert correct / hits > 0.98
+
+    def test_full_universe_error_zero_on_oracle(self, oracle_pipeline):
+        from repro.core.selection import table_error
+
+        _, _, analysis, _, _ = oracle_pipeline
+        profile = analysis.profiles[EventType.TOUCH]
+        assert table_error(profile, profile.universe) == pytest.approx(0.0)

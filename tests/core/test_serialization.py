@@ -1,0 +1,75 @@
+"""Tests for the OTA table serialization format."""
+
+import json
+
+import pytest
+
+from repro.android.events import EventType
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    dump_table,
+    load_table,
+    selection_from_dict,
+    selection_to_dict,
+    table_from_dict,
+    table_to_dict,
+)
+from repro.errors import MemoizationError
+
+
+class TestSelectionRoundtrip:
+    def test_roundtrip_preserves_fields(self, ab_package):
+        payload = selection_to_dict(ab_package.selection)
+        rebuilt = selection_from_dict(payload)
+        for event_type, fields in ab_package.selection.by_event_type.items():
+            assert [f.name for f in rebuilt.fields_for(event_type)] == [
+                f.name for f in fields
+            ]
+            assert rebuilt.comparison_bytes(event_type) == \
+                ab_package.selection.comparison_bytes(event_type)
+
+    def test_payload_is_json_serialisable(self, ab_package):
+        json.dumps(selection_to_dict(ab_package.selection))
+
+
+class TestTableRoundtrip:
+    def test_roundtrip_preserves_entries(self, ab_package):
+        payload = table_to_dict(ab_package.table)
+        rebuilt = table_from_dict(payload)
+        assert rebuilt.entry_count == ab_package.table.entry_count
+        assert rebuilt.total_bytes == ab_package.table.total_bytes
+        for event_type in ab_package.table.event_types():
+            original = ab_package.table._entries[event_type]
+            for key, entry in original.items():
+                loaded = rebuilt.lookup(event_type, key)
+                assert loaded is not None
+                assert loaded.writes == entry.writes
+                assert loaded.avg_cycles == pytest.approx(entry.avg_cycles)
+
+    def test_payload_is_json_serialisable(self, ab_package):
+        json.dumps(table_to_dict(ab_package.table))
+
+    def test_version_checked(self, ab_package):
+        payload = table_to_dict(ab_package.table)
+        payload["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(MemoizationError):
+            table_from_dict(payload)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(MemoizationError):
+            table_from_dict({"format_version": FORMAT_VERSION, "oops": 1})
+
+    def test_file_roundtrip(self, ab_package, tmp_path):
+        path = str(tmp_path / "table.json")
+        nbytes = dump_table(ab_package.table, path)
+        assert nbytes > 0
+        loaded = load_table(path)
+        assert loaded.entry_count == ab_package.table.entry_count
+
+    def test_loaded_table_serves_lookups(self, ab_package, tmp_path):
+        path = str(tmp_path / "table.json")
+        dump_table(ab_package.table, path)
+        loaded = load_table(path)
+        event_type = EventType.FRAME_TICK
+        key = next(iter(ab_package.table._entries[event_type]))
+        assert loaded.lookup(event_type, key) is not None

@@ -1,0 +1,90 @@
+"""Tests for the shared handler building blocks."""
+
+import pytest
+
+from repro.android.events import make_touch
+from repro.games.base import Game, HandlerContext, OutputCategory
+from repro.games.common import (
+    FRAME_TILE_BYTES,
+    bucket,
+    haptic_buzz,
+    physics_step,
+    play_sound,
+    render_frame,
+)
+from repro.android.events import EventType
+
+
+class _Shell(Game):
+    name = "shell"
+    handled_event_types = (EventType.TOUCH,)
+
+    def build_state(self) -> None:
+        self.state.declare("x", 0, 4)
+
+    def on_event(self, ctx: HandlerContext) -> None:  # pragma: no cover
+        pass
+
+
+@pytest.fixture()
+def ctx():
+    game = _Shell()
+    return HandlerContext(make_touch(1, 2), game.state, game.screen,
+                          game.extern_source)
+
+
+class TestRenderFrame:
+    def test_produces_gpu_display_and_tile(self, ctx):
+        render_frame(ctx, content=123, gpu_units=2.0)
+        ips = {call.ip_name for call in ctx.trace.ip_calls}
+        assert ips == {"gpu", "display"}
+        temp = ctx.trace.writes_in(OutputCategory.TEMP)
+        assert temp[0].value == 123
+        assert temp[0].nbytes == FRAME_TILE_BYTES
+
+    def test_same_content_is_unchanged(self, ctx):
+        render_frame(ctx, content=5, gpu_units=1.0)
+        render_frame(ctx, content=5, gpu_units=1.0)
+        first, second = ctx.trace.writes_in(OutputCategory.TEMP)
+        assert first.changed and not second.changed
+
+    def test_compose_is_not_register_reusable(self, ctx):
+        render_frame(ctx, content=5, gpu_units=1.0)
+        compose = next(c for c in ctx.trace.cpu_funcs if c.name == "compose_frame")
+        assert not compose.reusable
+
+    def test_ip_calls_keyed_on_content(self, ctx):
+        render_frame(ctx, content=7, gpu_units=1.0)
+        keys = {call.key for call in ctx.trace.ip_calls}
+        assert ("frame", 7) in keys
+        assert ("scanout", 7) in keys
+
+
+class TestSoundAndHaptics:
+    def test_play_sound_uses_codec(self, ctx):
+        play_sound(ctx, sound_id=3)
+        assert ctx.trace.ip_calls[0].ip_name == "audio_codec"
+        assert ctx.trace.writes_in(OutputCategory.TEMP)[0].value == 3
+
+    def test_haptic_is_cpu_only(self, ctx):
+        haptic_buzz(ctx, pattern=2)
+        assert not ctx.trace.ip_calls
+        assert ctx.trace.cpu_little_cycles > 0
+
+
+class TestPhysicsStep:
+    def test_cpu_only_by_default(self, ctx):
+        physics_step(ctx, key=(1, 2), cpu_cycles=1000)
+        assert not ctx.trace.ip_calls
+        assert ctx.trace.func_cycles == 1000
+
+    def test_dsp_offload(self, ctx):
+        physics_step(ctx, key=(1, 2), cpu_cycles=1000, dsp_units=2.0)
+        assert ctx.trace.ip_calls[0].ip_name == "dsp"
+
+
+class TestBucket:
+    def test_quantises(self):
+        assert bucket(37.0, 15.0) == 2
+        assert bucket(0.0, 15.0) == 0
+        assert bucket(14.9, 15.0) == 0

@@ -1,0 +1,60 @@
+"""The determinism contract every game must honour (docs/INTERNALS.md).
+
+Handlers must be pure functions of their context reads; engine hooks
+must be pure functions of event order; and identical input streams must
+produce bit-identical state trajectories. These tests hammer that
+contract harder than the emulator's two-run verify.
+"""
+
+import pytest
+
+from repro.games.registry import GAME_CONTENT_SEED, GAME_NAMES, create_game
+from repro.users.tracegen import generate_events
+
+
+def drive(game, events):
+    signatures = []
+    for event in events:
+        game.advance_engine(event)
+        signatures.append(game.process(event).output_signature())
+    return signatures
+
+
+class TestDeterminismContract:
+    @pytest.mark.parametrize("game_name", GAME_NAMES)
+    def test_three_replays_identical(self, game_name):
+        events = generate_events(game_name, seed=6, duration_s=6.0)
+        runs = [
+            drive(create_game(game_name, GAME_CONTENT_SEED), events)
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+    @pytest.mark.parametrize("game_name", GAME_NAMES)
+    def test_state_trajectory_identical(self, game_name):
+        events = generate_events(game_name, seed=6, duration_s=6.0)
+        first = create_game(game_name, GAME_CONTENT_SEED)
+        second = create_game(game_name, GAME_CONTENT_SEED)
+        for event in events:
+            first.advance_engine(event)
+            first.process(event)
+            second.advance_engine(event)
+            second.process(event)
+            assert first.state.snapshot() == second.state.snapshot()
+
+    @pytest.mark.parametrize("game_name", GAME_NAMES)
+    def test_content_is_shared_across_users(self, game_name):
+        """Fixed app content: two users see identical initial state."""
+        a = create_game(game_name, GAME_CONTENT_SEED)
+        b = create_game(game_name, GAME_CONTENT_SEED)
+        assert a.state.snapshot() == b.state.snapshot()
+
+    @pytest.mark.parametrize("game_name", GAME_NAMES)
+    def test_handlers_never_mutate_events(self, game_name):
+        events = generate_events(game_name, seed=6, duration_s=3.0)
+        game = create_game(game_name, GAME_CONTENT_SEED)
+        for event in events:
+            before = dict(event.values)
+            game.advance_engine(event)
+            game.process(event)
+            assert event.values == before

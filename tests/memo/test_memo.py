@@ -1,0 +1,172 @@
+"""Tests for the memoization substrates (Secs. III & IV)."""
+
+import pytest
+
+from repro.games.base import FieldWrite, OutputCategory
+from repro.memo.event_only import EventOnlyTable
+from repro.memo.naive import NaiveLookupTable
+from repro.memo.stats import (
+    classify_erroneous_execution,
+    total_output_bytes,
+    weighted_coverage,
+    writes_differ,
+)
+
+
+def _write(name, category, value, changed=True, nbytes=8):
+    return FieldWrite(
+        name=name, category=category, value=value, nbytes=nbytes, changed=changed
+    )
+
+
+class TestStats:
+    def test_weighted_coverage(self):
+        assert weighted_coverage(25.0, 100.0) == 0.25
+        assert weighted_coverage(1.0, 0.0) == 0.0
+
+    def test_writes_differ(self):
+        a = [_write("hist:x", OutputCategory.HISTORY, 1)]
+        b = [_write("hist:x", OutputCategory.HISTORY, 2)]
+        assert writes_differ(a, b)
+        assert not writes_differ(a, list(a))
+
+    def test_classify_correct_is_none(self):
+        writes = [_write("hist:x", OutputCategory.HISTORY, 1)]
+        assert classify_erroneous_execution(writes, list(writes)) is None
+
+    def test_classify_temp_only(self):
+        predicted = [_write("temp:t", OutputCategory.TEMP, 1)]
+        actual = [_write("temp:t", OutputCategory.TEMP, 2)]
+        assert classify_erroneous_execution(predicted, actual) is OutputCategory.TEMP
+
+    def test_classify_history_dominates_temp(self):
+        predicted = [
+            _write("temp:t", OutputCategory.TEMP, 1),
+            _write("hist:h", OutputCategory.HISTORY, 1),
+        ]
+        actual = [
+            _write("temp:t", OutputCategory.TEMP, 2),
+            _write("hist:h", OutputCategory.HISTORY, 2),
+        ]
+        assert classify_erroneous_execution(predicted, actual) is OutputCategory.HISTORY
+
+    def test_classify_extern_most_severe(self):
+        predicted = [
+            _write("hist:h", OutputCategory.HISTORY, 1),
+            _write("extern:e", OutputCategory.EXTERN, 1),
+        ]
+        actual = [
+            _write("hist:h", OutputCategory.HISTORY, 2),
+            _write("extern:e", OutputCategory.EXTERN, 2),
+        ]
+        assert classify_erroneous_execution(predicted, actual) is OutputCategory.EXTERN
+
+    def test_missing_field_counts_as_mismatch(self):
+        predicted = []
+        actual = [_write("hist:h", OutputCategory.HISTORY, 1)]
+        assert classify_erroneous_execution(predicted, actual) is OutputCategory.HISTORY
+
+    def test_total_output_bytes(self):
+        writes = [
+            _write("a", OutputCategory.TEMP, 1, nbytes=16),
+            _write("b", OutputCategory.HISTORY, 1, nbytes=4),
+        ]
+        assert total_output_bytes(writes) == 20
+
+
+class TestNaiveTable:
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveLookupTable([])
+
+    def test_excludes_ticks_by_default(self, ab_records):
+        from repro.android.events import EventType
+
+        table = NaiveLookupTable(ab_records)
+        user_events = sum(
+            1 for record in ab_records
+            if record.event_type is not EventType.FRAME_TICK
+        )
+        assert table.hits + table.misses == user_events
+
+    def test_records_are_wide(self, ab_records):
+        from repro.android.events import EventType
+
+        table = NaiveLookupTable(ab_records)
+        # Union-of-locations width includes the level layout blob.
+        assert table.record_width_bytes(EventType.MULTI_TOUCH) > 2_000
+
+    def test_size_grows_superlinearly_per_coverage(self, ab_records):
+        table = NaiveLookupTable(ab_records)
+        # Fig. 6 shape: megabytes of table for only a few % coverage.
+        assert table.total_bytes > 1_000_000
+        assert table.coverage < 0.10
+
+    def test_exact_repeats_are_rare(self, ab_records):
+        # Paper Sec. I: only ~2-5% of events repeat exactly.
+        table = NaiveLookupTable(ab_records)
+        repeat_rate = table.hits / (table.hits + table.misses)
+        assert repeat_rate < 0.08
+
+    def test_curve_monotone(self, ab_records):
+        table = NaiveLookupTable(ab_records)
+        curve = table.curve
+        sizes = [point.table_bytes_with_outputs for point in curve]
+        assert sizes == sorted(sizes)
+        assert curve[-1].table_bytes_with_outputs == table.total_bytes
+
+    def test_input_only_leq_total(self, ab_records):
+        table = NaiveLookupTable(ab_records)
+        assert table.input_bytes <= table.total_bytes
+
+    def test_bytes_needed_for_unreachable_coverage(self, ab_records):
+        table = NaiveLookupTable(ab_records)
+        with pytest.raises(ValueError):
+            table.bytes_needed_for_coverage(0.99)
+
+
+class TestEventOnlyTable:
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            EventOnlyTable([])
+
+    def test_table_is_tiny_vs_naive(self, ab_records):
+        event_only = EventOnlyTable(ab_records)
+        naive = NaiveLookupTable(ab_records)
+        # Fig. 8a: orders of magnitude smaller.
+        assert event_only.table_bytes < naive.total_bytes / 50
+
+    def test_coverage_far_exceeds_exact_repeats(self, ab_records):
+        stats = EventOnlyTable(ab_records).stats()
+        naive = NaiveLookupTable(ab_records)
+        naive_repeat = naive.hits / (naive.hits + naive.misses)
+        assert stats.coverage > 3 * naive_repeat
+
+    def test_ambiguity_comes_with_errors(self, ab_records):
+        stats = EventOnlyTable(ab_records).stats()
+        assert stats.ambiguous_fraction > 0.0
+        assert 0.0 < stats.erroneous_fraction <= stats.ambiguous_fraction + 1e-9
+
+    def test_fatal_errors_dominate(self, ab_records):
+        # Fig. 8b: the majority of erroneous short-circuits corrupt
+        # Out.History/Out.Extern, disqualifying the scheme.
+        stats = EventOnlyTable(ab_records).stats()
+        fatal = (
+            stats.error_breakdown[OutputCategory.HISTORY]
+            + stats.error_breakdown[OutputCategory.EXTERN]
+        )
+        assert fatal > 0.5
+        assert stats.error_breakdown[OutputCategory.TEMP] > 0.0
+
+    def test_breakdown_sums_to_one_when_errors_exist(self, ab_records):
+        stats = EventOnlyTable(ab_records).stats()
+        assert sum(stats.error_breakdown.values()) == pytest.approx(1.0)
+
+    def test_multi_output_keys_exist(self, ab_records):
+        table = EventOnlyTable(ab_records)
+        assert len(table.multi_output_keys()) > 0
+
+    def test_predict_returns_majority_writes(self, ab_records):
+        table = EventOnlyTable(ab_records)
+        predicted = table.predict(ab_records[0])
+        assert isinstance(predicted, tuple)

@@ -1,0 +1,55 @@
+"""Tests for the all-events scope flags on the memo substrates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.serialization import _decode_value, _encode_value
+from repro.errors import MemoizationError
+from repro.memo.event_only import EventOnlyTable
+from repro.memo.naive import NaiveLookupTable
+
+
+class TestAllEventsScope:
+    def test_naive_with_ticks_has_more_entries(self, ab_records):
+        user_only = NaiveLookupTable(ab_records)
+        everything = NaiveLookupTable(ab_records, user_events_only=False)
+        assert everything.hits + everything.misses == len(ab_records)
+        assert everything.entry_count > user_only.entry_count
+
+    def test_ticks_repeat_far_more_than_gestures(self, ab_records):
+        user_only = NaiveLookupTable(ab_records)
+        everything = NaiveLookupTable(ab_records, user_events_only=False)
+        # Idle vsync frames recur with identical full state; user
+        # gestures almost never do — the whole premise of the paper's
+        # redundancy analysis.
+        assert everything.coverage > 5 * user_only.coverage
+
+    def test_event_only_all_events_dominated_by_ticks(self, ab_records):
+        table = EventOnlyTable(ab_records)
+        scoped = table.stats(user_events_only=True)
+        full = table.stats(user_events_only=False)
+        # Ticks share a 2-byte key space: coverage explodes and so does
+        # ambiguity (why Sec. IV studies user events).
+        assert full.coverage > scoped.coverage
+        assert full.ambiguous_fraction > scoped.ambiguous_fraction
+
+
+class TestSerializationValues:
+    @given(value=st.recursive(
+        st.one_of(st.integers(-10**6, 10**6), st.text(max_size=10),
+                  st.booleans(), st.none(),
+                  st.floats(allow_nan=False, allow_infinity=False)),
+        lambda children: st.tuples(children, children),
+        max_leaves=6,
+    ))
+    def test_value_roundtrip(self, value):
+        assert _decode_value(_encode_value(value)) == value
+
+    def test_unserialisable_value_rejected(self):
+        with pytest.raises(MemoizationError):
+            _encode_value(object())
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(MemoizationError):
+            _decode_value({"bogus": 1})

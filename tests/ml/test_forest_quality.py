@@ -1,0 +1,89 @@
+"""Learning-quality tests: the forest on structured problems."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy, majority_class_accuracy
+from repro.ml.permutation import permutation_importance
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def staircase(n=600, seed=0):
+    """y = which of four bands x0 falls into; x1 is pure noise."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(0, 4, size=n)
+    x1 = rng.uniform(0, 4, size=n)
+    labels = x0.astype(int)
+    return np.column_stack([x0, x1]), labels
+
+
+def interaction(n=800, seed=0):
+    """y = (a > 0.5) XOR (b > 0.5) with two noise columns."""
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(0, 1, size=(n, 4))
+    labels = (
+        (features[:, 0] > 0.5).astype(int) ^ (features[:, 1] > 0.5).astype(int)
+    )
+    return features, labels
+
+
+class TestGeneralization:
+    def test_staircase_heldout_accuracy(self):
+        features, labels = staircase(seed=1)
+        test_features, test_labels = staircase(seed=2)
+        forest = RandomForestClassifier(n_trees=7, seed=0).fit(features, labels)
+        score = accuracy(forest.predict(test_features), test_labels)
+        assert score > 0.9
+
+    def test_interaction_beats_majority(self):
+        features, labels = interaction(seed=1)
+        test_features, test_labels = interaction(seed=2)
+        forest = RandomForestClassifier(n_trees=9, max_depth=8, seed=0).fit(
+            features, labels
+        )
+        score = accuracy(forest.predict(test_features), test_labels)
+        assert score > majority_class_accuracy(test_labels) + 0.2
+
+    def test_forest_at_least_matches_single_tree_on_noise(self):
+        features, labels = interaction(seed=3)
+        test_features, test_labels = interaction(seed=4)
+        tree = DecisionTreeClassifier(max_depth=8, seed=0).fit(features, labels)
+        forest = RandomForestClassifier(n_trees=9, max_depth=8, seed=0).fit(
+            features, labels
+        )
+        tree_score = accuracy(tree.predict(test_features), test_labels)
+        forest_score = accuracy(forest.predict(test_features), test_labels)
+        assert forest_score >= tree_score - 0.05
+
+
+class TestImportanceQuality:
+    def test_interaction_features_both_rank_above_noise(self):
+        features, labels = interaction(seed=5)
+        forest = RandomForestClassifier(n_trees=9, max_depth=8, seed=0).fit(
+            features, labels
+        )
+        ranked = permutation_importance(
+            forest, features, labels, ["a", "b", "n1", "n2"],
+            rng=np.random.default_rng(0), repeats=3,
+        )
+        top_two = {imp.name for imp in ranked[:2]}
+        assert top_two == {"a", "b"}
+
+    def test_importance_of_duplicated_feature_is_shared(self):
+        # Two identical copies of the signal: permuting one still leaves
+        # the other, so neither can be *fully* important — but both must
+        # outrank pure noise for a forest that splits on each sometimes.
+        rng = np.random.default_rng(7)
+        signal = rng.integers(0, 2, size=600).astype(float)
+        noise = rng.uniform(size=600)
+        features = np.column_stack([signal, signal, noise])
+        forest = RandomForestClassifier(n_trees=9, seed=0).fit(
+            features, signal.astype(int)
+        )
+        ranked = permutation_importance(
+            forest, features, signal.astype(int), ["s1", "s2", "noise"],
+            rng=np.random.default_rng(1), repeats=3,
+        )
+        by_name = {imp.name: imp.importance for imp in ranked}
+        assert by_name["noise"] == pytest.approx(0.0, abs=0.02)

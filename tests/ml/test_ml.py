@@ -1,0 +1,229 @@
+"""Tests for the ML substrate: encoding, dataset, trees, forest, PFI."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, ModelNotFittedError
+from repro.ml.dataset import Dataset
+from repro.ml.encoding import ABSENT, FeatureEncoder, encode_value
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy, majority_class_accuracy
+from repro.ml.permutation import permutation_importance
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestEncoding:
+    def test_numbers_pass_through(self):
+        assert encode_value(3) == 3.0
+        assert encode_value(2.5) == 2.5
+
+    def test_none_is_absent(self):
+        assert encode_value(None) == ABSENT
+
+    def test_bools_map_to_bits(self):
+        assert encode_value(True) == 1.0
+        assert encode_value(False) == 0.0
+
+    def test_equal_values_encode_equal(self):
+        assert encode_value((1, "a")) == encode_value((1, "a"))
+
+    def test_distinct_values_encode_distinct(self):
+        assert encode_value("left") != encode_value("right")
+
+    def test_huge_ints_stay_distinguishable(self):
+        a, b = 2**60 + 1, 2**60 + 2
+        assert encode_value(a) != encode_value(b)
+
+    def test_encoder_orders_features(self):
+        encoder = FeatureEncoder(["a", "b"])
+        row = encoder.encode_record({"b": 2, "a": 1})
+        assert row.tolist() == [1.0, 2.0]
+
+    def test_encoder_missing_becomes_absent(self):
+        encoder = FeatureEncoder(["a", "b"])
+        assert encoder.encode_record({"a": 1}).tolist() == [1.0, ABSENT]
+
+    def test_encoder_ignores_unknown_keys(self):
+        encoder = FeatureEncoder(["a"])
+        assert encoder.encode_record({"a": 1, "zzz": 9}).tolist() == [1.0]
+
+    def test_encoder_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureEncoder(["a", "a"])
+
+    def test_encode_records_shape(self):
+        encoder = FeatureEncoder(["a", "b"])
+        matrix = encoder.encode_records([{"a": 1}, {"b": 2}])
+        assert matrix.shape == (2, 2)
+
+
+class TestDataset:
+    def test_labels_factorised(self):
+        data = Dataset(["x"], np.array([[1.0], [2.0]]), ["cat", "dog"])
+        assert data.n_classes == 2
+        assert {data.class_of(i) for i in data.labels} == {"cat", "dog"}
+
+    def test_shape_validation(self):
+        with pytest.raises(DatasetError):
+            Dataset(["x"], np.zeros((2, 2)), [0, 1])
+        with pytest.raises(DatasetError):
+            Dataset(["x"], np.zeros((2, 1)), [0])
+        with pytest.raises(DatasetError):
+            Dataset(["x"], np.zeros((0, 1)), [])
+
+    def test_default_weights_uniform(self):
+        data = Dataset(["x"], np.zeros((3, 1)), [0, 1, 0])
+        assert data.sample_weight.tolist() == [1.0, 1.0, 1.0]
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(["x"], np.zeros((2, 1)), [0, 1], sample_weight=[-1.0, 1.0])
+
+    def test_split_partitions_rows(self):
+        data = Dataset(["x"], np.arange(10.0).reshape(-1, 1), list(range(10)))
+        train, test = data.split(0.7, np.random.default_rng(0))
+        assert train.n_rows + test.n_rows == 10
+        assert train.classes is data.classes
+
+    def test_split_fraction_validated(self):
+        data = Dataset(["x"], np.zeros((4, 1)), [0, 1, 0, 1])
+        with pytest.raises(DatasetError):
+            data.split(1.0, np.random.default_rng(0))
+
+
+def _xor_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.integers(0, 2, size=(n, 2)).astype(float)
+    labels = (features[:, 0].astype(int) ^ features[:, 1].astype(int))
+    return features, labels
+
+
+class TestDecisionTree:
+    def test_learns_xor(self):
+        features, labels = _xor_data()
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, labels)
+        assert accuracy(tree.predict(features), labels) == 1.0
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ModelNotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_depth_limit_respected(self):
+        features, labels = _xor_data()
+        stump = DecisionTreeClassifier(max_depth=1).fit(features, labels)
+        assert stump.node_count <= 3
+
+    def test_pure_node_stops_splitting(self):
+        features = np.array([[0.0], [1.0], [2.0]])
+        labels = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert tree.node_count == 1
+
+    def test_sample_weight_shifts_majority(self):
+        features = np.array([[0.0], [0.0], [0.0]])
+        labels = np.array([0, 1, 1])
+        weights = np.array([10.0, 1.0, 1.0])
+        tree = DecisionTreeClassifier().fit(features, labels, weights)
+        assert tree.predict(np.array([[0.0]]))[0] == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_deterministic_given_seed(self):
+        features, labels = _xor_data()
+        a = DecisionTreeClassifier(seed=3, max_features=1).fit(features, labels)
+        b = DecisionTreeClassifier(seed=3, max_features=1).fit(features, labels)
+        probe = np.array([[0.0, 1.0], [1.0, 1.0]])
+        assert a.predict(probe).tolist() == b.predict(probe).tolist()
+
+
+class TestForest:
+    def test_learns_xor(self):
+        features, labels = _xor_data()
+        forest = RandomForestClassifier(n_trees=5, seed=1).fit(features, labels)
+        assert accuracy(forest.predict(features), labels) > 0.95
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ModelNotFittedError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+    def test_tree_count(self):
+        features, labels = _xor_data(100)
+        forest = RandomForestClassifier(n_trees=3).fit(features, labels)
+        assert len(forest.trees) == 3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_trees=0)
+        with pytest.raises(ValueError):
+            RandomForestClassifier(max_features="log2")
+
+    def test_deterministic_given_seed(self):
+        features, labels = _xor_data()
+        a = RandomForestClassifier(n_trees=4, seed=9).fit(features, labels)
+        b = RandomForestClassifier(n_trees=4, seed=9).fit(features, labels)
+        probe = np.random.default_rng(0).uniform(0, 1, size=(20, 2))
+        assert a.predict(probe).tolist() == b.predict(probe).tolist()
+
+
+class TestMetrics:
+    def test_accuracy_basic(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_weighted(self):
+        value = accuracy(
+            np.array([1, 0]), np.array([1, 1]), sample_weight=np.array([3.0, 1.0])
+        )
+        assert value == pytest.approx(0.75)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_majority_class_accuracy(self):
+        assert majority_class_accuracy(np.array([0, 0, 1])) == pytest.approx(2 / 3)
+
+    def test_majority_class_weighted(self):
+        value = majority_class_accuracy(
+            np.array([0, 1]), sample_weight=np.array([1.0, 3.0])
+        )
+        assert value == pytest.approx(0.75)
+
+
+class TestPermutationImportance:
+    def test_informative_feature_ranks_first(self):
+        rng = np.random.default_rng(0)
+        signal = rng.integers(0, 2, size=500).astype(float)
+        noise = rng.uniform(0, 1, size=500)
+        features = np.column_stack([noise, signal])
+        labels = signal.astype(int)
+        forest = RandomForestClassifier(n_trees=5, seed=0).fit(features, labels)
+        ranked = permutation_importance(
+            forest, features, labels, ["noise", "signal"],
+            rng=np.random.default_rng(1),
+        )
+        assert ranked[0].name == "signal"
+        assert ranked[0].importance > ranked[1].importance
+
+    def test_constant_feature_zero_importance(self):
+        features = np.column_stack([np.ones(100), np.arange(100.0)])
+        labels = (np.arange(100) > 50).astype(int)
+        tree = DecisionTreeClassifier().fit(features, labels)
+        ranked = permutation_importance(
+            tree, features, labels, ["const", "ramp"],
+            rng=np.random.default_rng(0),
+        )
+        by_name = {imp.name: imp.importance for imp in ranked}
+        assert by_name["const"] == 0.0
+        assert by_name["ramp"] > 0.0
+
+    def test_importances_never_negative(self):
+        features, labels = _xor_data(100)
+        forest = RandomForestClassifier(n_trees=3, seed=2).fit(features, labels)
+        ranked = permutation_importance(
+            forest, features, labels, ["a", "b"], rng=np.random.default_rng(0)
+        )
+        assert all(imp.importance >= 0.0 for imp in ranked)

@@ -1,0 +1,39 @@
+"""Tests for SchemeRun accounting and the shared session runner."""
+
+import pytest
+
+from repro.schemes import BaselineScheme, run_scheme_session
+from repro.users.sessions import run_baseline_session
+
+
+class TestSchemeRun:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_scheme_session(BaselineScheme(), "colorphun", seed=1,
+                                  duration_s=15.0)
+
+    def test_matches_plain_baseline_session(self, run):
+        plain = run_baseline_session("colorphun", seed=1, duration_s=15.0)
+        assert run.report.total_joules == pytest.approx(
+            plain.report.total_joules
+        )
+
+    def test_average_watts(self, run):
+        assert run.average_watts == pytest.approx(
+            run.report.total_joules / 15.0
+        )
+
+    def test_battery_projection_positive(self, run):
+        assert run.battery_hours > 0
+
+    def test_savings_vs_zero_baseline_guard(self, run):
+        from dataclasses import replace
+        from repro.soc.energy import EnergyMeter
+
+        empty = replace(run, report=EnergyMeter().report())
+        assert run.savings_vs(empty) == 0.0
+
+    def test_metadata(self, run):
+        assert run.scheme_name == "baseline"
+        assert run.game_name == "colorphun"
+        assert run.seed == 1

@@ -1,0 +1,133 @@
+"""Tests for the battery model and the assembled SoC."""
+
+import pytest
+
+from repro.errors import BatteryDepletedError, SimulationError
+from repro.soc.battery import PIXEL_XL_CAPACITY_MAH, Battery
+from repro.soc.component import ComponentGroup
+from repro.soc.soc import (
+    IP_DISPLAY,
+    IP_GPU,
+    SENSOR_TOUCH,
+    snapdragon_821,
+)
+
+
+class TestBattery:
+    def test_full_on_creation(self):
+        battery = Battery()
+        assert battery.remaining_fraction == 1.0
+        assert not battery.is_depleted
+
+    def test_drain_reduces_charge(self):
+        battery = Battery()
+        battery.drain(battery.capacity_joules / 2)
+        assert battery.remaining_fraction == pytest.approx(0.5)
+
+    def test_drain_clamps_at_zero(self):
+        battery = Battery()
+        battery.drain(battery.capacity_joules * 2)
+        assert battery.remaining_fraction == 0.0
+        assert battery.is_depleted
+
+    def test_drain_after_depletion_raises(self):
+        battery = Battery()
+        battery.drain(battery.capacity_joules)
+        with pytest.raises(BatteryDepletedError):
+            battery.drain(1.0)
+
+    def test_negative_drain_rejected(self):
+        with pytest.raises(ValueError):
+            Battery().drain(-1.0)
+
+    def test_recharge(self):
+        battery = Battery()
+        battery.drain(battery.capacity_joules)
+        battery.recharge_full()
+        assert battery.remaining_fraction == 1.0
+
+    def test_hours_to_empty(self):
+        battery = Battery()
+        watts = battery.capacity_joules / 3600.0
+        assert battery.hours_to_empty(watts) == pytest.approx(1.0)
+
+    def test_hours_to_empty_requires_positive_power(self):
+        with pytest.raises(ValueError):
+            Battery().hours_to_empty(0.0)
+
+    def test_default_capacity_is_pixel_xl(self):
+        assert Battery().capacity_mah == PIXEL_XL_CAPACITY_MAH
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=0.0)
+
+
+class TestSoc:
+    def test_all_components_present(self):
+        soc = snapdragon_821()
+        components = soc.all_components()
+        assert "cpu" in components and "dram" in components
+        assert IP_GPU in components and SENSOR_TOUCH in components
+        assert len(soc.ips) == 7
+        assert len(soc.sensors) == 5
+
+    def test_unknown_ip_rejected(self):
+        with pytest.raises(SimulationError):
+            snapdragon_821().ip("npu")
+
+    def test_unknown_sensor_rejected(self):
+        with pytest.raises(SimulationError):
+            snapdragon_821().sensor("barometer")
+
+    def test_advance_time_charges_idle_power(self):
+        soc = snapdragon_821()
+        soc.advance_time(10.0)
+        assert soc.elapsed_seconds == 10.0
+        assert soc.meter.total_joules > 0
+        # Idle phone draws well under a watt but well over 100 mW.
+        watts = soc.average_watts()
+        assert 0.3 < watts < 1.2
+
+    def test_advance_time_zero_is_noop(self):
+        soc = snapdragon_821()
+        soc.advance_time(0.0)
+        assert soc.meter.total_joules == 0.0
+
+    def test_advance_time_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            snapdragon_821().advance_time(-1.0)
+
+    def test_average_watts_requires_elapsed_time(self):
+        with pytest.raises(SimulationError):
+            snapdragon_821().average_watts()
+
+    def test_platform_floor_charged_under_idle(self):
+        soc = snapdragon_821()
+        soc.advance_time(1.0)
+        assert soc.meter.component_joules("platform_floor") == pytest.approx(
+            soc.profiles.platform_floor_watts
+        )
+
+    def test_idle_battery_life_near_twenty_hours(self):
+        # The paper's Fig. 3 idle-phone reference point.
+        soc = snapdragon_821()
+        soc.advance_time(60.0)
+        hours = soc.battery.hours_to_empty(soc.average_watts())
+        assert 15.0 < hours < 25.0
+
+    def test_display_dominates_idle_ips(self):
+        soc = snapdragon_821()
+        soc.advance_time(10.0)
+        assert soc.meter.component_joules(IP_DISPLAY) > soc.meter.component_joules(IP_GPU)
+
+    def test_groups_cover_all_charges(self):
+        soc = snapdragon_821()
+        soc.cpu.execute(1_000_000)
+        soc.ip(IP_GPU).invoke(1.0)
+        soc.sensor(SENSOR_TOUCH).sample()
+        soc.memory.transfer(1000)
+        report = soc.report()
+        group_sum = sum(report.by_group.values())
+        assert group_sum == pytest.approx(report.total_joules)
+        assert set(report.by_group) == set(ComponentGroup)

@@ -1,0 +1,212 @@
+"""Tests for the power-state machine, CPU, IPs, memory, and sensors."""
+
+import pytest
+
+from repro.errors import PowerStateError
+from repro.soc.component import ComponentGroup, HardwareComponent, PowerState
+from repro.soc.cpu import CpuCluster
+from repro.soc.energy import EnergyMeter
+from repro.soc.ip import Gpu
+from repro.soc.memory import Memory
+from repro.soc.power_profiles import pixel_xl_profiles
+from repro.soc.sensors import TouchPanel
+
+
+@pytest.fixture()
+def meter():
+    return EnergyMeter()
+
+
+@pytest.fixture()
+def profiles():
+    return pixel_xl_profiles()
+
+
+def make_component(meter, **kwargs):
+    defaults = dict(
+        name="unit",
+        group=ComponentGroup.IP,
+        meter=meter,
+        idle_power_watts=0.1,
+        sleep_power_watts=0.01,
+        wake_energy_joules=0.005,
+    )
+    defaults.update(kwargs)
+    return HardwareComponent(**defaults)
+
+
+class TestPowerStates:
+    def test_starts_idle(self, meter):
+        assert make_component(meter).state is PowerState.IDLE
+
+    def test_sleep_then_wake_charges_wake_energy(self, meter):
+        component = make_component(meter)
+        component.sleep()
+        assert component.state is PowerState.SLEEP
+        component.wake()
+        assert component.state is PowerState.IDLE
+        assert component.wake_count == 1
+        assert meter.total_joules == pytest.approx(0.005)
+
+    def test_illegal_transition_rejected(self, meter):
+        component = make_component(meter)
+        component.sleep()
+        with pytest.raises(PowerStateError):
+            component.transition(PowerState.ACTIVE)
+
+    def test_transition_to_same_state_is_noop(self, meter):
+        component = make_component(meter)
+        component.transition(PowerState.IDLE)
+        assert component.wake_count == 0
+
+    def test_sleep_power_must_not_exceed_idle(self, meter):
+        with pytest.raises(ValueError):
+            make_component(meter, idle_power_watts=0.01, sleep_power_watts=0.02)
+
+    def test_negative_power_rejected(self, meter):
+        with pytest.raises(ValueError):
+            make_component(meter, idle_power_watts=-0.1)
+
+
+class TestBackgroundPower:
+    def test_idle_accrual(self, meter):
+        component = make_component(meter)
+        charged = component.accrue_background(10.0)
+        assert charged == pytest.approx(1.0)
+
+    def test_sleep_accrual_is_cheaper(self, meter):
+        component = make_component(meter)
+        component.sleep()
+        meter.reset()
+        assert component.accrue_background(10.0) == pytest.approx(0.1)
+
+    def test_off_accrues_nothing(self, meter):
+        component = make_component(meter)
+        component.sleep()
+        component.transition(PowerState.OFF)
+        meter.reset()
+        assert component.accrue_background(10.0) == 0.0
+
+    def test_negative_interval_rejected(self, meter):
+        with pytest.raises(ValueError):
+            make_component(meter).accrue_background(-1.0)
+
+
+class TestCpuCluster:
+    def test_execute_charges_energy(self, meter, profiles):
+        cpu = CpuCluster(meter, profiles.cpu)
+        cpu.execute(1_000_000, big=True)
+        expected = 1_000_000 * profiles.cpu.big_energy_per_cycle
+        assert meter.component_joules("cpu") == pytest.approx(expected)
+
+    def test_little_cheaper_than_big(self, meter, profiles):
+        cpu = CpuCluster(meter, profiles.cpu)
+        assert cpu.energy_for(1_000, big=False) < cpu.energy_for(1_000, big=True)
+
+    def test_execute_returns_wall_time(self, meter, profiles):
+        cpu = CpuCluster(meter, profiles.cpu)
+        seconds = cpu.execute(int(profiles.cpu.big_freq_hz), big=True)
+        assert seconds == pytest.approx(1.0)
+
+    def test_cycle_counters(self, meter, profiles):
+        cpu = CpuCluster(meter, profiles.cpu)
+        cpu.execute(100, big=True)
+        cpu.execute(50, big=False)
+        assert cpu.big_cycles_executed == 100
+        assert cpu.little_cycles_executed == 50
+        assert cpu.total_cycles_executed == 150
+
+    def test_zero_cycles_free(self, meter, profiles):
+        cpu = CpuCluster(meter, profiles.cpu)
+        assert cpu.execute(0) == 0.0
+        assert meter.total_joules == 0.0
+
+    def test_negative_cycles_rejected(self, meter, profiles):
+        cpu = CpuCluster(meter, profiles.cpu)
+        with pytest.raises(ValueError):
+            cpu.execute(-1)
+        with pytest.raises(ValueError):
+            cpu.energy_for(-1)
+
+
+class TestIpBlock:
+    def test_invoke_charges_setup_plus_work(self, meter, profiles):
+        gpu = Gpu("gpu", meter, profiles.gpu)
+        invocation = gpu.invoke(2.0, bytes_in=1000)
+        expected = (
+            profiles.gpu.setup_energy_joules
+            + 2.0 * profiles.gpu.energy_per_work_unit
+            + 1000 * profiles.gpu.energy_per_byte
+        )
+        assert invocation.energy_joules == pytest.approx(expected)
+        assert meter.component_joules("gpu") == pytest.approx(expected)
+
+    def test_energy_for_matches_invoke(self, meter, profiles):
+        gpu = Gpu("gpu", meter, profiles.gpu)
+        assert gpu.energy_for(3.0, bytes_in=10, bytes_out=20) == pytest.approx(
+            gpu.invoke(3.0, bytes_in=10, bytes_out=20).energy_joules
+        )
+
+    def test_invoke_wakes_sleeping_block(self, meter, profiles):
+        gpu = Gpu("gpu", meter, profiles.gpu)
+        gpu.sleep()
+        meter.reset()
+        gpu.invoke(1.0)
+        assert gpu.wake_count == 1
+        assert meter.component_joules("gpu") > gpu.energy_for(1.0)
+
+    def test_invocation_counters(self, meter, profiles):
+        gpu = Gpu("gpu", meter, profiles.gpu)
+        gpu.invoke(1.5)
+        gpu.invoke(2.5)
+        assert gpu.invocation_count == 2
+        assert gpu.total_work_units == pytest.approx(4.0)
+
+    def test_block_returns_to_idle(self, meter, profiles):
+        gpu = Gpu("gpu", meter, profiles.gpu)
+        gpu.invoke(1.0)
+        assert gpu.state is PowerState.IDLE
+
+    def test_negative_parameters_rejected(self, meter, profiles):
+        gpu = Gpu("gpu", meter, profiles.gpu)
+        with pytest.raises(ValueError):
+            gpu.invoke(-1.0)
+        with pytest.raises(ValueError):
+            gpu.invoke(1.0, bytes_in=-1)
+
+
+class TestMemory:
+    def test_transfer_charges_per_byte(self, meter, profiles):
+        memory = Memory(meter, profiles.memory)
+        memory.transfer(1_000_000)
+        expected = 1_000_000 * profiles.memory.energy_per_byte
+        assert meter.component_joules("dram") == pytest.approx(expected)
+
+    def test_transfer_tracks_bytes(self, meter, profiles):
+        memory = Memory(meter, profiles.memory)
+        memory.transfer(100)
+        memory.transfer(200)
+        assert memory.bytes_moved == 300
+
+    def test_transfer_time_from_bandwidth(self, meter, profiles):
+        memory = Memory(meter, profiles.memory)
+        seconds = memory.transfer(int(profiles.memory.bandwidth_bytes_per_second))
+        assert seconds == pytest.approx(1.0)
+
+    def test_negative_transfer_rejected(self, meter, profiles):
+        memory = Memory(meter, profiles.memory)
+        with pytest.raises(ValueError):
+            memory.transfer(-1)
+
+
+class TestSensor:
+    def test_sample_charges_fixed_energy(self, meter, profiles):
+        touch = TouchPanel("touch", meter, profiles.touch)
+        energy = touch.sample()
+        assert energy == pytest.approx(profiles.touch.sample_energy_joules)
+        assert touch.sample_count == 1
+
+    def test_sensor_group(self, meter, profiles):
+        touch = TouchPanel("touch", meter, profiles.touch)
+        touch.sample()
+        assert meter.group_joules(ComponentGroup.SENSOR) > 0

@@ -1,0 +1,104 @@
+"""Tests for the energy ledger."""
+
+import pytest
+
+from repro.soc.component import ComponentGroup
+from repro.soc.energy import (
+    EnergyMeter,
+    TAG_EVENT,
+    TAG_IDLE,
+    TAG_LOOKUP,
+    merge_reports,
+)
+
+
+class TestCharging:
+    def test_total_accumulates(self):
+        meter = EnergyMeter()
+        meter.charge("cpu", ComponentGroup.CPU, 1.0)
+        meter.charge("gpu", ComponentGroup.IP, 2.0)
+        assert meter.total_joules == pytest.approx(3.0)
+
+    def test_negative_charge_rejected(self):
+        meter = EnergyMeter()
+        with pytest.raises(ValueError):
+            meter.charge("cpu", ComponentGroup.CPU, -0.1)
+
+    def test_zero_charge_is_noop(self):
+        meter = EnergyMeter()
+        meter.charge("cpu", ComponentGroup.CPU, 0.0)
+        assert meter.total_joules == 0.0
+        assert meter.component_joules("cpu") == 0.0
+
+    def test_component_accumulates_across_tags(self):
+        meter = EnergyMeter()
+        meter.charge("cpu", ComponentGroup.CPU, 1.0, tag=TAG_EVENT)
+        meter.charge("cpu", ComponentGroup.CPU, 2.0, tag=TAG_LOOKUP)
+        assert meter.component_joules("cpu") == pytest.approx(3.0)
+
+    def test_group_and_tag_marginals(self):
+        meter = EnergyMeter()
+        meter.charge("cpu", ComponentGroup.CPU, 1.0, tag=TAG_EVENT)
+        meter.charge("gpu", ComponentGroup.IP, 2.0, tag=TAG_IDLE)
+        assert meter.group_joules(ComponentGroup.CPU) == pytest.approx(1.0)
+        assert meter.tag_joules(TAG_IDLE) == pytest.approx(2.0)
+
+    def test_reset_clears_everything(self):
+        meter = EnergyMeter()
+        meter.charge("cpu", ComponentGroup.CPU, 5.0)
+        meter.reset()
+        assert meter.total_joules == 0.0
+        assert meter.report().by_component == {}
+
+
+class TestReport:
+    def test_report_is_snapshot(self):
+        meter = EnergyMeter()
+        meter.charge("cpu", ComponentGroup.CPU, 1.0)
+        report = meter.report()
+        meter.charge("cpu", ComponentGroup.CPU, 1.0)
+        assert report.total_joules == pytest.approx(1.0)
+
+    def test_group_fraction(self):
+        meter = EnergyMeter()
+        meter.charge("cpu", ComponentGroup.CPU, 3.0)
+        meter.charge("gpu", ComponentGroup.IP, 1.0)
+        assert meter.report().group_fraction(ComponentGroup.CPU) == pytest.approx(0.75)
+
+    def test_group_fraction_empty_meter(self):
+        assert EnergyMeter().report().group_fraction(ComponentGroup.CPU) == 0.0
+
+    def test_tag_fraction(self):
+        meter = EnergyMeter()
+        meter.charge("cpu", ComponentGroup.CPU, 1.0, tag=TAG_LOOKUP)
+        meter.charge("cpu", ComponentGroup.CPU, 3.0, tag=TAG_EVENT)
+        assert meter.report().tag_fraction(TAG_LOOKUP) == pytest.approx(0.25)
+
+    def test_joint_group_tag(self):
+        meter = EnergyMeter()
+        meter.charge("gpu", ComponentGroup.IP, 2.0, tag=TAG_LOOKUP)
+        report = meter.report()
+        assert report.by_group_and_tag[(ComponentGroup.IP, TAG_LOOKUP)] == pytest.approx(2.0)
+
+
+class TestMerge:
+    def test_merge_sums_totals(self):
+        first = EnergyMeter()
+        first.charge("cpu", ComponentGroup.CPU, 1.0)
+        second = EnergyMeter()
+        second.charge("cpu", ComponentGroup.CPU, 2.0)
+        merged = merge_reports([first.report(), second.report()])
+        assert merged.total_joules == pytest.approx(3.0)
+        assert merged.by_component["cpu"] == pytest.approx(3.0)
+
+    def test_merge_empty(self):
+        merged = merge_reports([])
+        assert merged.total_joules == 0.0
+
+    def test_merge_preserves_disjoint_components(self):
+        first = EnergyMeter()
+        first.charge("cpu", ComponentGroup.CPU, 1.0)
+        second = EnergyMeter()
+        second.charge("gpu", ComponentGroup.IP, 2.0)
+        merged = merge_reports([first.report(), second.report()])
+        assert set(merged.by_component) == {"cpu", "gpu"}

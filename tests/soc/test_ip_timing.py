@@ -1,0 +1,61 @@
+"""Timing-model tests for IP invocations and session wall time."""
+
+import pytest
+
+from repro.soc.energy import EnergyMeter
+from repro.soc.ip import Gpu
+from repro.soc.power_profiles import pixel_xl_profiles
+from repro.soc.soc import snapdragon_821
+
+
+class TestIpTiming:
+    def test_duration_follows_work_rate(self):
+        profiles = pixel_xl_profiles()
+        gpu = Gpu("gpu", EnergyMeter(), profiles.gpu)
+        invocation = gpu.invoke(profiles.gpu.work_rate_per_second)
+        assert invocation.seconds == pytest.approx(1.0)
+
+    def test_zero_work_takes_no_time(self):
+        profiles = pixel_xl_profiles()
+        gpu = Gpu("gpu", EnergyMeter(), profiles.gpu)
+        invocation = gpu.invoke(0.0, bytes_in=1000)
+        assert invocation.seconds == 0.0
+        assert invocation.energy_joules > 0  # setup + bytes still paid
+
+    def test_display_frame_takes_a_sixtieth(self):
+        soc = snapdragon_821()
+        invocation = soc.ip("display").invoke(1.0)
+        assert invocation.seconds == pytest.approx(1.0 / 60.0)
+
+    def test_invocation_record_fields(self):
+        soc = snapdragon_821()
+        invocation = soc.ip("dsp").invoke(2.0, bytes_in=10, bytes_out=20)
+        assert invocation.ip_name == "dsp"
+        assert invocation.work_units == 2.0
+        assert invocation.bytes_moved == 30
+
+
+class TestTableEntryMath:
+    def test_avg_cycles_is_mean_over_occurrences(self, ab_records, ab_package,
+                                                  snip_config):
+        from collections import defaultdict
+
+        from repro.core.table import SnipTable
+
+        table = SnipTable.build(ab_records, ab_package.selection, snip_config)
+        # Recompute one entry's mean by hand.
+        sums = defaultdict(list)
+        for record in ab_records:
+            fields = ab_package.selection.fields_for(record.event_type)
+            key = SnipTable.key_for_record(record, fields)
+            sums[(record.event_type, key)].append(record.trace.total_cycles)
+        checked = 0
+        for (event_type, key), cycles in sums.items():
+            entry = table.lookup(event_type, key)
+            if entry is None:
+                continue
+            assert entry.avg_cycles == pytest.approx(sum(cycles) / len(cycles))
+            checked += 1
+            if checked > 20:
+                break
+        assert checked > 0

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_game(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["session", "tetris"])
+
+    def test_rejects_bad_seed_list(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["snip", "colorphun",
+                                       "--profile-seeds", "a,b"])
+
+    def test_parses_seed_list(self):
+        args = build_parser().parse_args(
+            ["snip", "colorphun", "--profile-seeds", "3,4,5"]
+        )
+        assert args.profile_seeds == [3, 4, 5]
+
+
+class TestCommands:
+    def test_list_games(self):
+        code, text = run_cli("list-games")
+        assert code == 0
+        assert "colorphun" in text and "race_kings" in text
+        assert len(text.strip().splitlines()) == 7
+
+    def test_session(self):
+        code, text = run_cli("session", "colorphun", "--duration", "5")
+        assert code == 0
+        assert "battery life" in text
+        assert "useless events" in text
+
+    def test_snip_pipeline(self):
+        code, text = run_cli(
+            "snip", "colorphun",
+            "--profile-duration", "15", "--eval-duration", "10",
+        )
+        assert code == 0
+        assert "savings" in text and "coverage" in text
+
+    def test_devreport(self):
+        code, text = run_cli(
+            "devreport", "colorphun", "--profile-duration", "10"
+        )
+        assert code == 0
+        assert "Developer report" in text
+
+    def test_ota_roundtrip(self, tmp_path):
+        path = str(tmp_path / "table.json")
+        code, text = run_cli(
+            "ota", "colorphun", "--out", path, "--profile-duration", "10"
+        )
+        assert code == 0 and "wrote" in text
+        code, text = run_cli("ota-info", path)
+        assert code == 0
+        assert "entries" in text and "key = [" in text
+
+
+class TestExtensionCommands:
+    def test_experiment_accepts_extension_ids(self):
+        args = build_parser().parse_args(["experiment", "quantization"])
+        assert args.id == "quantization"
+
+    def test_federate_command(self):
+        code, text = run_cli(
+            "federate", "colorphun", "--devices", "2",
+            "--sessions", "1", "--duration", "10",
+        )
+        assert code == 0
+        assert "fleet table" in text and "uplink" in text

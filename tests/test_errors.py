@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        exception_types = [
+            value for value in vars(errors).values()
+            if isinstance(value, type) and issubclass(value, Exception)
+        ]
+        assert len(exception_types) > 15
+        for exc_type in exception_types:
+            assert issubclass(exc_type, errors.ReproError)
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.BatteryDepletedError, errors.SimulationError)
+        assert issubclass(errors.PowerStateError, errors.SimulationError)
+        assert issubclass(errors.UnknownGameError, errors.GameError)
+        assert issubclass(errors.StateError, errors.GameError)
+        assert issubclass(errors.ReplayDivergenceError, errors.TraceError)
+        assert issubclass(errors.UnknownEventTypeError, errors.EventError)
+        assert issubclass(errors.TableCapacityError, errors.MemoizationError)
+
+    def test_catching_the_base_catches_leaves(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SelectionError("boom")
+
+    def test_library_raises_its_own_types(self):
+        from repro.games.registry import game_info
+
+        with pytest.raises(errors.ReproError):
+            game_info("nope")

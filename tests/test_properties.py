@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.android.events import EventType, make_swipe, make_touch, schema_for
+from repro.games.candy_crush import COLORS, SIZE, collapse, deal_board, find_matches
+from repro.games.greenwall import fruit_position
+from repro.games.memory_game import card_face, card_kind, card_value, deal_kinds
+from repro.ml.encoding import FeatureEncoder, encode_value
+from repro.ml.metrics import accuracy, majority_class_accuracy
+from repro.rng import ReproRng
+from repro.soc.battery import Battery
+from repro.soc.component import ComponentGroup
+from repro.soc.energy import EnergyMeter
+
+
+coordinates = st.integers(min_value=0, max_value=1439)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestEventProperties:
+    @given(x=coordinates, y=st.integers(0, 2559))
+    def test_touch_quantisation_idempotent(self, x, y):
+        once = make_touch(x, y)
+        twice = make_touch(int(once.field("x")), int(once.field("y")))
+        assert once == twice
+
+    @given(x=coordinates, y=st.integers(0, 2559))
+    def test_touch_key_matches_values(self, x, y):
+        event = make_touch(x, y)
+        schema = schema_for(EventType.TOUCH)
+        assert event.key() == tuple(event.values[n] for n in schema.field_names)
+
+    @given(
+        x0=coordinates, y0=st.integers(0, 2559),
+        velocity=st.floats(0, 5000, allow_nan=False),
+        direction=st.integers(0, 7),
+    )
+    def test_swipe_nbytes_constant(self, x0, y0, velocity, direction):
+        event = make_swipe(x0, y0, x0, y0, velocity, direction, 100)
+        assert event.nbytes == schema_for(EventType.SWIPE).nbytes
+
+
+class TestRngProperties:
+    @given(seed=seeds, label=st.text(min_size=1, max_size=20))
+    def test_fork_determinism(self, seed, label):
+        assert ReproRng(seed).fork(label).seed == ReproRng(seed).fork(label).seed
+
+    @given(seed=seeds, low=st.integers(-100, 100), span=st.integers(1, 50))
+    def test_integer_in_range(self, seed, low, span):
+        value = ReproRng(seed).integer(low, low + span)
+        assert low <= value < low + span
+
+    @given(seed=seeds, items=st.lists(st.integers(), min_size=1, max_size=30))
+    def test_shuffle_is_permutation(self, seed, items):
+        assert sorted(ReproRng(seed).shuffled(items)) == sorted(items)
+
+
+class TestEnergyProperties:
+    @given(charges=st.lists(st.floats(0, 1e3, allow_nan=False), max_size=30))
+    def test_total_is_sum(self, charges):
+        meter = EnergyMeter()
+        for joules in charges:
+            meter.charge("x", ComponentGroup.CPU, joules)
+        assert meter.total_joules == sum(charges)
+
+    @given(drains=st.lists(st.floats(0, 5e3, allow_nan=False), max_size=20))
+    def test_battery_never_negative(self, drains):
+        battery = Battery()
+        for joules in drains:
+            if battery.is_depleted:
+                break
+            battery.drain(joules)
+        assert 0.0 <= battery.remaining_fraction <= 1.0
+
+
+class TestCandyProperties:
+    @given(seed=seeds)
+    @settings(max_examples=25)
+    def test_deal_never_has_matches(self, seed):
+        assert find_matches(deal_board(seed)) == frozenset()
+
+    @given(seed=seeds, fill=seeds)
+    @settings(max_examples=25)
+    def test_collapse_preserves_board_size(self, seed, fill):
+        board = deal_board(seed)
+        removed = find_matches(board) | frozenset({0, 9, 18})
+        out = collapse(board, removed, fill)
+        assert len(out) == SIZE * SIZE
+        assert all(0 <= candy < COLORS for candy in out)
+
+    @given(seed=seeds)
+    @settings(max_examples=25)
+    def test_collapse_keeps_untouched_columns(self, seed):
+        board = deal_board(seed)
+        out = collapse(board, frozenset({0}), fill_seed=1)
+        # Only column 0 changed; all other columns are preserved.
+        for col in range(1, SIZE):
+            original = [board[row * SIZE + col] for row in range(SIZE)]
+            collapsed = [out[row * SIZE + col] for row in range(SIZE)]
+            assert original == collapsed
+
+
+class TestMemoryGameProperties:
+    @given(level=st.integers(1, 50))
+    def test_deal_always_pairs(self, level):
+        kinds = deal_kinds(level)
+        assert sorted(kinds) == sorted(list(range(18)) * 2)
+
+    @given(kind=st.integers(0, 17), face=st.integers(0, 2))
+    def test_card_packing_roundtrip(self, kind, face):
+        value = card_value(kind, face)
+        assert card_kind(value) == kind
+        assert card_face(value) == face
+
+
+class TestGreenwallProperties:
+    @given(pattern=st.integers(0, 7), fruit=st.integers(0, 4), phase=st.integers(0, 90))
+    def test_positions_deterministic_and_bounded_x(self, pattern, fruit, phase):
+        first = fruit_position(pattern, fruit, phase)
+        second = fruit_position(pattern, fruit, phase)
+        assert first == second
+        assert -600 <= first[0] <= 2000  # launch window plus drift
+
+
+class TestEncodingProperties:
+    @given(value=st.one_of(st.integers(), st.text(max_size=20), st.booleans(),
+                           st.none(), st.floats(allow_nan=False, allow_infinity=False)))
+    def test_encoding_is_stable(self, value):
+        assert encode_value(value) == encode_value(value)
+
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=8,
+                           unique=True))
+    def test_encoder_preserves_distinct_ints(self, values):
+        encoder = FeatureEncoder([f"f{i}" for i in range(len(values))])
+        row = encoder.encode_record({f"f{i}": v for i, v in enumerate(values)})
+        assert len(set(row.tolist())) == len(values)
+
+
+class TestMetricProperties:
+    @given(labels=st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_majority_bounds(self, labels):
+        arr = np.asarray(labels)
+        value = majority_class_accuracy(arr)
+        assert 1.0 / len(set(labels)) <= value + 1e-12
+        assert value <= 1.0
+
+    @given(labels=st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_perfect_prediction(self, labels):
+        arr = np.asarray(labels)
+        assert accuracy(arr, arr) == 1.0

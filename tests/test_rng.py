@@ -1,0 +1,136 @@
+"""Tests for the seeded RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, ReproRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = ReproRng(42)
+        b = ReproRng(42)
+        assert [a.uniform() for _ in range(10)] == [b.uniform() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        draws_a = [ReproRng(1).uniform() for _ in range(5)]
+        draws_b = [ReproRng(2).uniform() for _ in range(5)]
+        assert draws_a != draws_b
+
+    def test_default_seed_used(self):
+        assert ReproRng().seed == DEFAULT_SEED
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ReproRng(-1)
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        assert ReproRng(7).fork("x").uniform() == ReproRng(7).fork("x").uniform()
+
+    def test_fork_labels_independent(self):
+        assert ReproRng(7).fork("a").seed != ReproRng(7).fork("b").seed
+
+    def test_fork_does_not_advance_parent(self):
+        parent = ReproRng(7)
+        before = ReproRng(7).uniform()
+        parent.fork("anything")
+        assert parent.uniform() == before
+
+    def test_fork_order_irrelevant(self):
+        one = ReproRng(9)
+        two = ReproRng(9)
+        seed_a1 = one.fork("a").seed
+        two.fork("b")
+        assert two.fork("a").seed == seed_a1
+
+
+class TestScalarDraws:
+    def test_uniform_bounds(self):
+        rng = ReproRng(3)
+        draws = [rng.uniform(2.0, 5.0) for _ in range(200)]
+        assert all(2.0 <= value < 5.0 for value in draws)
+
+    def test_integer_bounds(self):
+        rng = ReproRng(3)
+        draws = [rng.integer(10, 13) for _ in range(200)]
+        assert set(draws) <= {10, 11, 12}
+
+    def test_integer_empty_range(self):
+        with pytest.raises(ValueError):
+            ReproRng(1).integer(5, 5)
+
+    def test_exponential_positive(self):
+        rng = ReproRng(3)
+        assert all(rng.exponential(0.5) > 0 for _ in range(50))
+
+    def test_exponential_mean_validated(self):
+        with pytest.raises(ValueError):
+            ReproRng(1).exponential(0.0)
+
+    def test_chance_extremes(self):
+        rng = ReproRng(5)
+        assert not any(rng.chance(0.0) for _ in range(20))
+        assert all(rng.chance(1.0) for _ in range(20))
+
+    def test_chance_out_of_range(self):
+        with pytest.raises(ValueError):
+            ReproRng(1).chance(1.5)
+
+    def test_normal_roughly_centred(self):
+        rng = ReproRng(11)
+        draws = [rng.normal(10.0, 1.0) for _ in range(500)]
+        assert 9.5 < sum(draws) / len(draws) < 10.5
+
+
+class TestCollectionDraws:
+    def test_choice_uniform(self):
+        rng = ReproRng(5)
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for _ in range(50))
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReproRng(1).choice([])
+
+    def test_choice_weights_respected(self):
+        rng = ReproRng(5)
+        picks = [rng.choice(["x", "y"], weights=[1.0, 0.0]) for _ in range(30)]
+        assert set(picks) == {"x"}
+
+    def test_choice_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ReproRng(1).choice(["a"], weights=[1.0, 2.0])
+
+    def test_choice_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            ReproRng(1).choice(["a", "b"], weights=[0.0, 0.0])
+
+    def test_sample_distinct(self):
+        rng = ReproRng(5)
+        picked = rng.sample(list(range(20)), 10)
+        assert len(set(picked)) == 10
+
+    def test_sample_too_many(self):
+        with pytest.raises(ValueError):
+            ReproRng(1).sample([1, 2], 3)
+
+    def test_shuffled_preserves_elements(self):
+        rng = ReproRng(5)
+        items = list(range(30))
+        assert sorted(rng.shuffled(items)) == items
+
+    def test_shuffled_leaves_input_alone(self):
+        rng = ReproRng(5)
+        items = list(range(10))
+        rng.shuffled(items)
+        assert items == list(range(10))
+
+    def test_permutation_is_permutation(self):
+        rng = ReproRng(5)
+        perm = rng.permutation(16)
+        assert sorted(perm.tolist()) == list(range(16))
+
+    def test_generator_is_numpy(self):
+        assert isinstance(ReproRng(5).generator, np.random.Generator)

@@ -1,0 +1,65 @@
+"""Tests for unit conversion and formatting helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestBatteryConversions:
+    def test_mah_to_joules_roundtrip(self):
+        assert units.joules_to_mah(units.mah_to_joules(3450.0)) == pytest.approx(3450.0)
+
+    def test_pixel_xl_pack_scale(self):
+        # 3450 mAh at 3.85 V is ~47.8 kJ.
+        assert units.mah_to_joules(3450.0) == pytest.approx(47_816, rel=0.01)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            units.mah_to_joules(-1.0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            units.joules_to_mah(-1.0)
+
+
+class TestFormatting:
+    def test_format_bytes_scales(self):
+        assert units.format_bytes(512) == "512 B"
+        assert units.format_bytes(1536) == "1.5 kB"
+        assert units.format_bytes(3 * units.MIB) == "3.0 MB"
+        assert units.format_bytes(2 * units.GIB) == "2.0 GB"
+
+    def test_format_energy_scales(self):
+        assert units.format_energy(1.5) == "1.50 J"
+        assert units.format_energy(0.0025) == "2.50 mJ"
+        assert units.format_energy(3e-6) == "3.00 uJ"
+        assert units.format_energy(5e-9) == "5.00 nJ"
+
+    def test_format_duration_scales(self):
+        assert units.format_duration(7200) == "2.0 h"
+        assert units.format_duration(120) == "2.0 min"
+        assert units.format_duration(2.5) == "2.5 s"
+        assert units.format_duration(0.05) == "50.0 ms"
+
+    def test_format_percent(self):
+        assert units.format_percent(0.327) == "32.7%"
+        assert units.format_percent(0.327, digits=0) == "33%"
+
+
+class TestHelpers:
+    def test_hours(self):
+        assert units.hours(3600.0) == 1.0
+
+    def test_clamp_inside(self):
+        assert units.clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_clamp_edges(self):
+        assert units.clamp(-1.0, 0.0, 10.0) == 0.0
+        assert units.clamp(11.0, 0.0, 10.0) == 10.0
+
+    def test_clamp_empty_interval(self):
+        with pytest.raises(ValueError):
+            units.clamp(1.0, 5.0, 2.0)
+
+    def test_capacity_constants_ordering(self):
+        assert units.TYPICAL_MEMORY_BYTES < units.TYPICAL_SDCARD_BYTES

@@ -1,0 +1,95 @@
+"""Tests for user populations and archetypes."""
+
+import pytest
+
+from repro.android.events import EventType
+from repro.users.population import (
+    DEFAULT_ARCHETYPES,
+    Population,
+    UserArchetype,
+)
+
+
+class TestArchetype:
+    def test_defaults_sane(self):
+        names = [a.name for a in DEFAULT_ARCHETYPES]
+        assert names == ["casual", "regular", "intense"]
+
+    def test_invalid_scales_rejected(self):
+        with pytest.raises(ValueError):
+            UserArchetype(name="x", tempo=0.0, session_scale=1.0)
+        with pytest.raises(ValueError):
+            UserArchetype(name="x", tempo=1.0, session_scale=-1.0)
+
+
+class TestPopulation:
+    def test_assignment_is_stable(self):
+        population = Population(seed=5)
+        first = [population.archetype_of(i).name for i in range(20)]
+        second = [population.archetype_of(i).name for i in range(20)]
+        assert first == second
+
+    def test_census_counts_everyone(self):
+        population = Population(seed=5)
+        census = population.census(50)
+        assert sum(census.values()) == 50
+        assert set(census) == {"casual", "regular", "intense"}
+
+    def test_weights_shape_the_mix(self):
+        lopsided = Population(weights=(1.0, 0.0, 0.0), seed=5)
+        census = lopsided.census(30)
+        assert census["casual"] == 30
+
+    def test_misaligned_weights_rejected(self):
+        with pytest.raises(ValueError):
+            Population(weights=(1.0,))
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            Population(archetypes=(), weights=())
+
+
+class TestUserTraces:
+    def test_tempo_scales_gesture_rate(self):
+        population = Population(seed=5)
+        casual = UserArchetype("c", tempo=0.6, session_scale=1.0)
+        intense = UserArchetype("i", tempo=1.8, session_scale=1.0)
+        slow = Population(archetypes=(casual,), weights=(1.0,), seed=5)
+        fast = Population(archetypes=(intense,), weights=(1.0,), seed=5)
+        slow_events = slow.user_gestures("greenwall", 1, 0, 20.0)
+        fast_events = fast.user_gestures("greenwall", 1, 0, 20.0)
+        assert len(fast_events) > len(slow_events) * 1.5
+
+    def test_gesture_timestamps_within_duration(self):
+        population = Population(seed=5)
+        events = population.user_gestures("candy_crush", 2, 0, 10.0)
+        assert all(0.0 <= e.timestamp <= 10.0 + 1e-9 for e in events)
+
+    def test_user_trace_includes_ticks(self):
+        population = Population(seed=5)
+        trace = population.user_trace("candy_crush", 2, 0, 10.0)
+        types = {record.event_type for record in trace}
+        assert EventType.FRAME_TICK in types
+        assert EventType.SWIPE in types
+
+    def test_sessions_differ(self):
+        population = Population(seed=5)
+        a = population.user_trace("candy_crush", 2, 0, 8.0)
+        b = population.user_trace("candy_crush", 2, 1, 8.0)
+        assert a.to_dict() != b.to_dict()
+
+    def test_users_differ(self):
+        population = Population(seed=5)
+        a = population.user_trace("candy_crush", 2, 0, 8.0)
+        b = population.user_trace("candy_crush", 3, 0, 8.0)
+        assert a.to_dict()["events"] != b.to_dict()["events"]
+
+    def test_trace_replayable(self):
+        from repro.android.emulator import Emulator
+        from repro.games.registry import GAME_CONTENT_SEED, create_game
+
+        population = Population(seed=5)
+        trace = population.user_trace("colorphun", 4, 0, 8.0)
+        game = create_game("colorphun", seed=GAME_CONTENT_SEED)
+        records = Emulator(verify=True).replay(game, trace)
+        assert len(records) == len(trace)

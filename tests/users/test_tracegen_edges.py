@@ -1,0 +1,31 @@
+"""Edge-case tests for event-stream assembly."""
+
+import pytest
+
+from repro.android.events import EventType, make_touch
+from repro.users.tracegen import assemble_events, generate_events
+
+
+class TestAssembleEvents:
+    def test_gestures_beyond_duration_dropped(self):
+        late = make_touch(1, 2, timestamp=99.0)
+        events = assemble_events("colorphun", [late], duration_s=2.0)
+        assert all(e.event_type is EventType.FRAME_TICK for e in events)
+
+    def test_no_ticks_for_camera_games(self):
+        events = assemble_events("chase_whisply", [], duration_s=2.0)
+        assert events == []
+
+    def test_sequences_renumbered(self):
+        gestures = [make_touch(1, 2, sequence=999, timestamp=0.5)]
+        events = assemble_events("colorphun", gestures, duration_s=1.0)
+        assert [e.sequence for e in events] == list(range(1, len(events) + 1))
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            assemble_events("colorphun", [], duration_s=0.0)
+
+    def test_generate_events_stable(self):
+        first = generate_events("greenwall", seed=8, duration_s=3.0)
+        second = generate_events("greenwall", seed=8, duration_s=3.0)
+        assert [e.values for e in first] == [e.values for e in second]
