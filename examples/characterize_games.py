@@ -4,19 +4,26 @@
 Regenerates the motivation figures on live sessions: component energy
 breakdown (Fig. 2), battery drain (Fig. 3), and useless-event fractions
 (Fig. 4) — the numbers that justify attacking redundant event processing
-at whole-SoC scope.
+at whole-SoC scope. The per-game sessions fan out through the
+``repro.fleet`` executor (pass ``--jobs N`` for a worker pool); the
+printed figures are identical at any job count.
 """
+
+import sys
 
 from repro.analysis.fig2_energy_breakdown import run_fig2
 from repro.analysis.fig3_battery_drain import run_fig3
 from repro.analysis.fig4_useless_events import run_fig4
+from repro.fleet import make_executor
 
 DURATION_S = 45.0
+JOBS = 1
 
 
 def main() -> None:
+    executor = make_executor(JOBS)
     print("== Fig. 2: where the energy goes ==")
-    fig2 = run_fig2(duration_s=DURATION_S)
+    fig2 = run_fig2(duration_s=DURATION_S, executor=executor)
     print(fig2.to_text())
     heavy = max(fig2.breakdowns, key=lambda b: b.cpu)
     print(f"\nCPU-heaviest workload: {heavy.game_name} ({heavy.cpu:.0%} CPU)")
@@ -24,13 +31,13 @@ def main() -> None:
           "alone cannot move the needle.\n")
 
     print("== Fig. 3: rampant battery drain ==")
-    fig3 = run_fig3(duration_s=DURATION_S)
+    fig3 = run_fig3(duration_s=DURATION_S, executor=executor)
     print(fig3.to_text())
     print(f"\nHeaviest game drains {fig3.drain_speedup_vs_idle:.1f}x faster "
           f"than the idle phone (paper: ~6x).\n")
 
     print("== Fig. 4: useless event processing ==")
-    fig4 = run_fig4(duration_s=DURATION_S)
+    fig4 = run_fig4(duration_s=DURATION_S, executor=executor)
     print(fig4.to_text())
     worst = fig4.by_game()[fig4.max_useless_game]
     print(f"\nWorst offender: {worst.game_name} — "
@@ -40,4 +47,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
+    if len(sys.argv) > 2 and sys.argv[1] == "--jobs":
+        JOBS = int(sys.argv[2])
     main()

@@ -4,14 +4,16 @@
 The paper's Sec. VII-C names federated learning as the way to cut the
 multi-day backend cost and enable collective learning. This example
 builds a fleet of users with different play styles, has every device
-compute its own per-key statistics locally, merges them in the cloud,
-and shows that the fleet table serves a brand-new user out of the box.
+compute its own per-key statistics locally — sharded across the
+``repro.fleet`` engine's worker pool — merges them in the cloud, and
+shows that the fleet table serves a brand-new user out of the box.
 """
 
+import sys
+
 from repro.core.config import SnipConfig
-from repro.core.federated import federate
-from repro.core.profiler import CloudProfiler
 from repro.core.runtime import SnipRuntime
+from repro.fleet import FleetEngine, FleetSpec, make_executor
 from repro.games.registry import GAME_CONTENT_SEED, create_game
 from repro.soc.soc import snapdragon_821
 from repro.units import format_bytes
@@ -22,37 +24,44 @@ GAME = "candy_crush"
 DEVICES = 5
 SESSIONS_PER_DEVICE = 2
 SESSION_S = 30.0
+POPULATION_SEED = 11
+JOBS = 1
 
 
 def main() -> None:
     print(f"== federated SNIP on {GAME} ({DEVICES} devices) ==\n")
     config = SnipConfig()
 
-    # The necessary-input selection still comes from one centrally
-    # profiled seed (a development-time artifact, tiny and shareable).
-    package = CloudProfiler(config).build_package_from_sessions(
-        GAME, seeds=[1], duration_s=SESSION_S
+    # The whole fleet — trace generation, local replay, statistics
+    # upload — runs through the fleet engine. The necessary-input
+    # selection still comes from one centrally profiled seed session (a
+    # development-time artifact, tiny and shareable), which the engine
+    # builds once and ships to every device.
+    spec = FleetSpec(
+        game_name=GAME,
+        devices=DEVICES,
+        sessions_per_device=SESSIONS_PER_DEVICE,
+        duration_s=SESSION_S,
+        seed=POPULATION_SEED,
+        profile_seeds=(1,),
+        profile_duration_s=SESSION_S,
+        measure_energy=False,   # this example federates; it does not meter
+        federate=True,
     )
+    engine = FleetEngine(spec, executor=make_executor(JOBS), config=config)
+    package = engine.build_package()
     print(f"centrally selected necessary inputs: "
           f"{package.selection.total_bytes} B across "
           f"{len(package.selection.by_event_type)} event types")
+    print(f"fleet mix: {Population(seed=POPULATION_SEED).census(DEVICES)}")
 
-    population = Population(seed=11)
-    print(f"fleet mix: {population.census(DEVICES)}")
-    per_device = {
-        device_id: [
-            population.user_trace(GAME, device_id, session, SESSION_S)
-            for session in range(SESSIONS_PER_DEVICE)
-        ]
-        for device_id in range(DEVICES)
-    }
-
-    fleet_table, uplink = federate(GAME, per_device, package.selection, config)
-    raw_bytes = sum(t.uplink_bytes for ts in per_device.values() for t in ts)
+    report = engine.run()
+    fleet_table = report.fleet_table
     print(f"\nfleet table: {fleet_table.entry_count} entries, "
           f"{format_bytes(fleet_table.total_bytes)}")
-    print(f"statistics uploaded: {format_bytes(uplink)} "
-          f"(raw events would be {format_bytes(raw_bytes)}; "
+    print(f"statistics uploaded: {format_bytes(report.uplink_bytes)} "
+          f"(raw events would be "
+          f"{format_bytes(report.totals.raw_uplink_bytes)}; "
           f"no raw events leave any device)")
     print("cloud replay cost: none — devices replayed locally")
 
@@ -77,4 +86,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
+    if len(sys.argv) > 2 and sys.argv[1] == "--jobs":
+        JOBS = int(sys.argv[2])
     main()

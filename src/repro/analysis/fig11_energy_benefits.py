@@ -10,10 +10,11 @@ most because of its wide per-event comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import pct, render_table
 from repro.core.config import SnipConfig
+from repro.fleet.executors import FleetExecutor, SerialExecutor
 from repro.schemes import (
     BaselineScheme,
     MaxCpuScheme,
@@ -119,37 +120,55 @@ class Fig11Result:
         )
 
 
+def _compare_game_task(payload: tuple) -> Tuple[GameComparison, float]:
+    """Run all schemes for one game (picklable fleet-executor task).
+
+    Each game's comparison is fully independent — the schemes profile
+    per game — so fanning games out across workers reproduces the
+    serial grid exactly.
+    """
+    game_name, seed, duration_s, config = payload
+    snip = SnipScheme(config)
+    no_overheads = NoOverheadsScheme(config)
+    snip.prepare(game_name)
+    # Share the profile package so both variants decide identically.
+    no_overheads._packages[game_name] = snip.package_for(game_name)
+    baseline = run_scheme_session(BaselineScheme(), game_name, seed, duration_s)
+    runs: Dict[str, SchemeRun] = {}
+    for scheme in (MaxCpuScheme(), MaxIpScheme(), snip, no_overheads):
+        runs[scheme.name] = run_scheme_session(scheme, game_name, seed, duration_s)
+    table = snip.package_for(game_name).table
+    weighted = 0.0
+    for event_type in table.selection.by_event_type:
+        weighted += table.comparison_bytes(event_type)
+    mean_bytes = weighted / max(1, len(table.selection.by_event_type))
+    comparison = GameComparison(game_name=game_name, baseline=baseline, runs=runs)
+    return comparison, mean_bytes
+
+
 def run_fig11(
     games: Optional[Sequence[str]] = None,
     seed: int = 7,
     duration_s: float = 60.0,
     config: Optional[SnipConfig] = None,
+    executor: Optional[FleetExecutor] = None,
 ) -> Fig11Result:
-    """Run every scheme on every game and assemble the grid."""
+    """Run every scheme on every game and assemble the grid.
+
+    ``executor`` distributes per-game comparisons across workers; the
+    grid is reassembled in games order, so results match the serial run.
+    """
     from repro.games.registry import GAME_NAMES
 
     games = list(games or GAME_NAMES)
     config = config or SnipConfig()
-    snip = SnipScheme(config)
-    no_overheads = NoOverheadsScheme(config)
-    comparisons = []
-    compared_bytes: Dict[str, float] = {}
-    for game_name in games:
-        snip.prepare(game_name)
-        # Share the profile package so both variants decide identically.
-        no_overheads._packages[game_name] = snip.package_for(game_name)
-        baseline = run_scheme_session(BaselineScheme(), game_name, seed, duration_s)
-        runs: Dict[str, SchemeRun] = {}
-        for scheme in (MaxCpuScheme(), MaxIpScheme(), snip, no_overheads):
-            runs[scheme.name] = run_scheme_session(scheme, game_name, seed, duration_s)
-        table = snip.package_for(game_name).table
-        weighted = 0.0
-        for event_type in table.selection.by_event_type:
-            weighted += table.comparison_bytes(event_type)
-        compared_bytes[game_name] = weighted / max(
-            1, len(table.selection.by_event_type)
-        )
-        comparisons.append(
-            GameComparison(game_name=game_name, baseline=baseline, runs=runs)
-        )
+    executor = executor or SerialExecutor()
+    outcomes = executor.run(
+        _compare_game_task,
+        [(game_name, seed, duration_s, config) for game_name in games],
+    )
+    comparisons = [comparison for comparison, _ in outcomes]
+    compared_bytes = {
+        comparison.game_name: mean_bytes for comparison, mean_bytes in outcomes
+    }
     return Fig11Result(comparisons=comparisons, compared_bytes=compared_bytes)

@@ -15,6 +15,7 @@ from typing import List, Optional
 from repro.analysis.report import pct, render_table
 from repro.core.config import SnipConfig
 from repro.core.learning import ContinuousLearner, EpochResult
+from repro.fleet.executors import FleetExecutor
 
 
 @dataclass
@@ -62,6 +63,39 @@ class Fig12Result:
         )
 
 
+def _epoch_task(payload: tuple) -> EpochResult:
+    """Evaluate one learning epoch in isolation (picklable task).
+
+    Every epoch's training corpus is a pure function of ``(seed,
+    epoch)`` — :meth:`ContinuousLearner._epoch_seeds` — so a worker can
+    rebuild the sessions of all earlier epochs locally and evaluate its
+    epoch with no state from the serial loop. The per-epoch results are
+    bit-identical to running the loop sequentially.
+    """
+    (
+        game_name,
+        epoch,
+        session_duration_s,
+        initial_events,
+        ramp,
+        ungated_epochs,
+        config,
+        seed,
+    ) = payload
+    learner = ContinuousLearner(
+        game_name,
+        config=config,
+        session_duration_s=session_duration_s,
+        initial_events=initial_events,
+        ramp=ramp,
+        ungated_epochs=ungated_epochs,
+        seed=seed,
+    )
+    for earlier in range(epoch):
+        learner.ingest_session(earlier)
+    return learner.run_epoch(epoch)
+
+
 def run_fig12(
     game_name: str = "ab_evolution",
     epochs: int = 8,
@@ -71,13 +105,37 @@ def run_fig12(
     ungated_epochs: int = 2,
     config: Optional[SnipConfig] = None,
     seed: int = 0,
+    executor: Optional[FleetExecutor] = None,
 ) -> Fig12Result:
     """Drive the continuous-learning loop and record each epoch.
 
     ``ungated_epochs`` reproduces the paper's artificially insufficient
     initial profile: early tables ship without the confidence gate and
     misfire heavily until real profile volume accumulates.
+
+    With an ``executor``, the epochs are evaluated in parallel workers
+    (each regenerating the earlier epochs' sessions from seeds) and the
+    trajectory is reassembled in epoch order — same numbers, shorter
+    wall clock.
     """
+    if executor is not None and executor.jobs > 1:
+        results = executor.run(
+            _epoch_task,
+            [
+                (
+                    game_name,
+                    epoch,
+                    session_duration_s,
+                    initial_events,
+                    ramp,
+                    ungated_epochs,
+                    config,
+                    seed,
+                )
+                for epoch in range(epochs)
+            ],
+        )
+        return Fig12Result(game_name=game_name, epochs=results)
     learner = ContinuousLearner(
         game_name,
         config=config,

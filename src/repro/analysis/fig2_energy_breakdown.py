@@ -8,12 +8,13 @@ motivation for optimizing the whole SoC rather than one component.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.report import pct, render_table
+from repro.fleet.executors import FleetExecutor, SerialExecutor
 from repro.games.registry import GAME_NAMES
 from repro.soc.component import ComponentGroup
-from repro.users.sessions import run_baseline_session
+from repro.users.sessions import run_baseline_session_task
 
 
 @dataclass(frozen=True)
@@ -60,15 +61,28 @@ class Fig2Result:
         )
 
 
-def run_fig2(seed: int = 1, duration_s: float = 60.0) -> Fig2Result:
-    """Measure baseline sessions and slice the ledger by group."""
+def run_fig2(
+    seed: int = 1,
+    duration_s: float = 60.0,
+    executor: Optional[FleetExecutor] = None,
+) -> Fig2Result:
+    """Measure baseline sessions and slice the ledger by group.
+
+    ``executor`` fans the seven per-game sessions out across workers;
+    results are identical to the serial path (sessions are independent
+    and reassembled in game order).
+    """
+    executor = executor or SerialExecutor()
+    results = executor.run(
+        run_baseline_session_task,
+        [(game_name, seed, duration_s) for game_name in GAME_NAMES],
+    )
     breakdowns = []
-    for game_name in GAME_NAMES:
-        result = run_baseline_session(game_name, seed=seed, duration_s=duration_s)
+    for result in results:
         report = result.report
         breakdowns.append(
             GameBreakdown(
-                game_name=game_name,
+                game_name=result.game_name,
                 cpu=report.group_fraction(ComponentGroup.CPU),
                 ip=report.group_fraction(ComponentGroup.IP),
                 memory=report.group_fraction(ComponentGroup.MEMORY),

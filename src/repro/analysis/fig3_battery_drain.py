@@ -8,12 +8,13 @@ pack in ~8.5 h against ~20 h for an idle (screen-on) phone, and complex
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.report import render_table
+from repro.fleet.executors import FleetExecutor, SerialExecutor
 from repro.games.registry import GAME_NAMES
 from repro.soc.soc import snapdragon_821
-from repro.users.sessions import run_baseline_session
+from repro.users.sessions import run_baseline_session_task
 
 
 def idle_battery_hours(duration_s: float = 60.0) -> float:
@@ -59,16 +60,23 @@ class Fig3Result:
         return render_table(["workload", "avg power", "battery life"], rows)
 
 
-def run_fig3(seed: int = 1, duration_s: float = 60.0) -> Fig3Result:
+def run_fig3(
+    seed: int = 1,
+    duration_s: float = 60.0,
+    executor: Optional[FleetExecutor] = None,
+) -> Fig3Result:
     """Measure each game's draw and project full-pack drain time."""
-    rows = []
-    for game_name in GAME_NAMES:
-        result = run_baseline_session(game_name, seed=seed, duration_s=duration_s)
-        rows.append(
-            DrainRow(
-                game_name=game_name,
-                average_watts=result.average_watts,
-                battery_hours=result.battery_hours,
-            )
+    executor = executor or SerialExecutor()
+    results = executor.run(
+        run_baseline_session_task,
+        [(game_name, seed, duration_s) for game_name in GAME_NAMES],
+    )
+    rows = [
+        DrainRow(
+            game_name=result.game_name,
+            average_watts=result.average_watts,
+            battery_hours=result.battery_hours,
         )
+        for result in results
+    ]
     return Fig3Result(idle_hours=idle_battery_hours(), rows=rows)

@@ -9,11 +9,12 @@ event-processing energy (~34% in aggregate).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.report import pct, render_table
+from repro.fleet.executors import FleetExecutor, SerialExecutor
 from repro.games.registry import GAME_NAMES
-from repro.users.sessions import run_baseline_session
+from repro.users.sessions import run_baseline_session_task
 
 
 @dataclass(frozen=True)
@@ -53,17 +54,24 @@ class Fig4Result:
         )
 
 
-def run_fig4(seed: int = 1, duration_s: float = 60.0) -> Fig4Result:
+def run_fig4(
+    seed: int = 1,
+    duration_s: float = 60.0,
+    executor: Optional[FleetExecutor] = None,
+) -> Fig4Result:
     """Measure useless user events over baseline sessions."""
-    rows = []
-    for game_name in GAME_NAMES:
-        result = run_baseline_session(game_name, seed=seed, duration_s=duration_s)
-        rows.append(
-            UselessRow(
-                game_name=game_name,
-                useless_fraction=result.useless_user_fraction,
-                wasted_energy_fraction=result.wasted_energy_fraction,
-                user_events=len(result.user_traces()),
-            )
+    executor = executor or SerialExecutor()
+    results = executor.run(
+        run_baseline_session_task,
+        [(game_name, seed, duration_s) for game_name in GAME_NAMES],
+    )
+    rows = [
+        UselessRow(
+            game_name=result.game_name,
+            useless_fraction=result.useless_user_fraction,
+            wasted_energy_fraction=result.wasted_energy_fraction,
+            user_events=len(result.user_traces()),
         )
+        for result in results
+    ]
     return Fig4Result(rows=rows)

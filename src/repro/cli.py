@@ -7,7 +7,9 @@ Exposes the library's main workflows without writing code:
 * ``snip`` — profile a game, ship the table, evaluate on a fresh session;
 * ``experiment`` — regenerate one paper figure/table by id;
 * ``devreport`` — the Option-1 developer-intervention report;
-* ``ota`` / ``ota-info`` — write and inspect the over-the-air table file.
+* ``ota`` / ``ota-info`` — write and inspect the over-the-air table file;
+* ``fleet`` — the parallel fleet-simulation engine (``--jobs N``,
+  checkpoint/resume, deterministic aggregate report).
 """
 
 from __future__ import annotations
@@ -63,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate one paper figure/table"
     )
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for experiments that support fan-out",
+    )
 
     devreport = commands.add_parser(
         "devreport", help="developer-intervention report (Option 1)"
@@ -91,6 +97,34 @@ def build_parser() -> argparse.ArgumentParser:
     federated.add_argument("--devices", type=int, default=4)
     federated.add_argument("--sessions", type=int, default=2)
     federated.add_argument("--duration", type=float, default=30.0)
+
+    fleet = commands.add_parser(
+        "fleet", help="simulate a device fleet across a worker pool"
+    )
+    fleet.add_argument("--game", choices=GAME_NAMES, default="candy_crush")
+    fleet.add_argument("--devices", type=int, default=50)
+    fleet.add_argument("--sessions", type=int, default=1)
+    fleet.add_argument("--duration", type=float, default=10.0)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--jobs", type=int, default=1)
+    fleet.add_argument("--shard-size", type=int, default=8)
+    fleet.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="run directory for checkpoint/resume of the sweep",
+    )
+    fleet.add_argument(
+        "--no-federate", action="store_true",
+        help="skip the federated statistics pass",
+    )
+    fleet.add_argument(
+        "--no-energy", action="store_true",
+        help="skip the per-device energy/baseline sessions",
+    )
+    fleet.add_argument("--profile-duration", type=float, default=15.0)
+    fleet.add_argument(
+        "--progress", action="store_true",
+        help="stream shard progress to stderr (never part of the report)",
+    )
 
     return parser
 
@@ -151,7 +185,19 @@ def _cmd_snip(args, out) -> int:
 
 
 def _cmd_experiment(args, out) -> int:
-    result = run_experiment(args.id)
+    import inspect
+
+    kwargs = {}
+    if getattr(args, "jobs", 1) > 1:
+        from repro.fleet.executors import make_executor
+
+        driver = EXPERIMENTS[args.id]
+        if "executor" in inspect.signature(driver).parameters:
+            kwargs["executor"] = make_executor(args.jobs)
+        else:
+            print(f"note: {args.id} does not fan out; --jobs ignored",
+                  file=sys.stderr)
+    result = run_experiment(args.id, **kwargs)
     print(result.to_text(), file=out)
     return 0
 
@@ -214,6 +260,35 @@ def _cmd_federate(args, out) -> int:
     return 0
 
 
+def _cmd_fleet(args, out) -> int:
+    from repro.fleet import FleetEngine, FleetSpec, TelemetryBus, make_executor
+    from repro.fleet.telemetry import progress_printer
+
+    spec = FleetSpec(
+        game_name=args.game,
+        devices=args.devices,
+        sessions_per_device=args.sessions,
+        duration_s=args.duration,
+        seed=args.seed,
+        shard_size=args.shard_size,
+        profile_duration_s=args.profile_duration,
+        measure_energy=not args.no_energy,
+        federate=not args.no_federate,
+    )
+    telemetry = TelemetryBus()
+    if args.progress:
+        telemetry.subscribe(progress_printer(sys.stderr))
+    engine = FleetEngine(
+        spec,
+        executor=make_executor(args.jobs),
+        telemetry=telemetry,
+        checkpoint=args.checkpoint,
+    )
+    report = engine.run()
+    print(report.to_text(), file=out)
+    return 0
+
+
 def _cmd_ota_info(args, out) -> int:
     table = load_table(args.path)
     print(f"entries:  {table.entry_count}", file=out)
@@ -239,6 +314,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "ota-info": lambda: _cmd_ota_info(args, out),
         "summary": lambda: _cmd_summary(out),
         "federate": lambda: _cmd_federate(args, out),
+        "fleet": lambda: _cmd_fleet(args, out),
     }
     return handlers[args.command]()
 

@@ -169,6 +169,27 @@ class FederatedAggregator:
         return table
 
 
+def federate_contributions(
+    contributions: Sequence[DeviceContribution],
+    selection: SelectedInputs,
+    config: SnipConfig,
+) -> Tuple[SnipTable, int]:
+    """Cloud-side merge of already-computed device statistics.
+
+    This is the entry point the fleet engine uses: workers return
+    :class:`DeviceContribution` payloads from their shards and the
+    reducer hands them here. Contributions are merged in device-id
+    order so the built table is identical however the shards were
+    scheduled.
+    """
+    aggregator = FederatedAggregator(selection, config)
+    uplink = 0
+    for contribution in sorted(contributions, key=lambda c: c.device_id):
+        uplink += contribution.upload_bytes
+        aggregator.merge(contribution)
+    return aggregator.build_table(), uplink
+
+
 def federate(
     game_name: str,
     per_device_traces: Dict[int, List[RecordedTrace]],
@@ -180,12 +201,8 @@ def federate(
     Returns the fleet table and the total uplink bytes (the quantity the
     federated design minimises against shipping raw profiles).
     """
-    aggregator = FederatedAggregator(selection, config)
-    uplink = 0
-    for device_id, traces in per_device_traces.items():
-        contribution = build_device_contribution(
-            device_id, game_name, traces, selection
-        )
-        uplink += contribution.upload_bytes
-        aggregator.merge(contribution)
-    return aggregator.build_table(), uplink
+    contributions = [
+        build_device_contribution(device_id, game_name, traces, selection)
+        for device_id, traces in per_device_traces.items()
+    ]
+    return federate_contributions(contributions, selection, config)

@@ -89,13 +89,32 @@ class ContinuousLearner:
 
     # -- the loop --------------------------------------------------------------
 
-    def run_epoch(self, epoch: int) -> EpochResult:
-        """One loop turn: record a session, rebuild, evaluate on the next."""
+    def _epoch_seeds(self, epoch: int) -> tuple:
+        """``(session_seed, eval_seed)`` for one epoch.
+
+        A pure function of ``(self.seed, epoch)`` — this is what lets a
+        fleet executor compute epochs in independent workers: any epoch's
+        training corpus can be regenerated from the seeds of the epochs
+        before it, with no state carried between processes.
+        """
         rng = ReproRng(self.seed).fork(f"epoch:{epoch}")
-        session_seed = rng.integer(1, 2**31)
+        return rng.integer(1, 2**31), rng.integer(1, 2**31)
+
+    def ingest_session(self, epoch: int) -> None:
+        """Record (generate) one epoch's play session without profiling.
+
+        Parallel epoch evaluation pre-loads a learner with sessions
+        ``0..epoch-1`` through this before calling :meth:`run_epoch`.
+        """
+        session_seed, _ = self._epoch_seeds(epoch)
         self._traces.append(
             generate_trace(self.game_name, session_seed, self.session_duration_s)
         )
+
+    def run_epoch(self, epoch: int) -> EpochResult:
+        """One loop turn: record a session, rebuild, evaluate on the next."""
+        _, eval_seed = self._epoch_seeds(epoch)
+        self.ingest_session(epoch)
         limit = self._available_events(epoch)
         training = [self._truncate(trace, limit) for trace in self._traces]
         if epoch < self.ungated_epochs:
@@ -108,7 +127,6 @@ class ContinuousLearner:
             package = profiler.build_package(self.game_name, training)
         else:
             package = self.profiler.build_package(self.game_name, training)
-        eval_seed = rng.integer(1, 2**31)
         eval_trace = generate_trace(
             self.game_name, eval_seed, self.session_duration_s
         )

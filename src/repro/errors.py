@@ -87,3 +87,15 @@ class ProfilerError(ReproError):
 
 class SchemeError(ReproError):
     """An optimization scheme was applied to an incompatible session."""
+
+
+class FleetError(ReproError):
+    """The fleet-simulation engine failed to plan or execute a run."""
+
+
+class WorkerCrashError(FleetError):
+    """A fleet worker (process or in-line) died and exhausted its retries."""
+
+
+class CheckpointError(FleetError):
+    """A fleet checkpoint directory is missing, corrupt, or mismatched."""

@@ -1,0 +1,59 @@
+"""Parallel fleet-simulation engine (the ROADMAP's scale substrate).
+
+Shards a device population into chunks, executes per-device game
+sessions across a ``multiprocessing`` worker pool (or a serial fallback
+with the same interface), reduces per-device results order-independently
+(energy ledgers, runtime counters, federated key statistics), and
+supports checkpoint/resume of partially completed sweeps. Seeded
+per-device RNG derivation makes aggregates byte-identical across
+``--jobs`` settings and shard sizes.
+"""
+
+from repro.fleet.checkpoint import CheckpointStore
+from repro.fleet.engine import FleetEngine, FleetReport, run_fleet
+from repro.fleet.executors import (
+    DEFAULT_RETRY_BUDGET,
+    FleetExecutor,
+    ProcessFleetExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.fleet.reducers import (
+    FleetTotals,
+    canonical_device_results,
+    reduce_census,
+    reduce_contributions,
+    reduce_energy,
+    reduce_totals,
+)
+from repro.fleet.spec import FleetSpec, Shard
+from repro.fleet.telemetry import TelemetryBus, TelemetryEvent, progress_printer
+from repro.fleet.work import DeviceResult, ShardResult, ShardTask, run_device, run_shard
+
+__all__ = [
+    "CheckpointStore",
+    "DEFAULT_RETRY_BUDGET",
+    "DeviceResult",
+    "FleetEngine",
+    "FleetExecutor",
+    "FleetReport",
+    "FleetSpec",
+    "FleetTotals",
+    "ProcessFleetExecutor",
+    "SerialExecutor",
+    "Shard",
+    "ShardResult",
+    "ShardTask",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "canonical_device_results",
+    "make_executor",
+    "progress_printer",
+    "reduce_census",
+    "reduce_contributions",
+    "reduce_energy",
+    "reduce_totals",
+    "run_device",
+    "run_fleet",
+    "run_shard",
+]

@@ -1,0 +1,134 @@
+"""Checkpoint/resume for partially completed fleet sweeps.
+
+Layout of a run directory::
+
+    <run_dir>/
+      manifest.json        # format version, spec, fingerprints
+      shards/
+        shard_00000.pkl    # one pickled ShardResult per finished shard
+        shard_00001.pkl
+        ...
+
+Shard files are written atomically (tmp + rename), so a run killed
+mid-write never leaves a truncated shard behind; resume simply skips
+every shard whose file exists and re-executes the rest. The manifest
+pins the spec's *layout* fingerprint (spec + shard size): resuming with
+different parameters is refused instead of silently mixing results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import CheckpointError
+from repro.fleet.spec import FLEET_FORMAT_VERSION, FleetSpec
+from repro.fleet.work import ShardResult
+
+MANIFEST_NAME = "manifest.json"
+SHARD_DIR = "shards"
+
+
+class CheckpointStore:
+    """Persistence for one fleet run directory."""
+
+    def __init__(self, run_dir: Union[str, Path]) -> None:
+        self.run_dir = Path(run_dir)
+        self.shard_dir = self.run_dir / SHARD_DIR
+
+    # -- manifest ----------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        """Where the run manifest lives."""
+        return self.run_dir / MANIFEST_NAME
+
+    def initialise(self, spec: FleetSpec) -> None:
+        """Create the run directory, or validate it against ``spec``.
+
+        A pre-existing directory must carry a manifest for the same
+        spec and shard layout; anything else raises
+        :class:`CheckpointError` rather than corrupting the sweep.
+        """
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        if self.manifest_path.exists():
+            manifest = self._read_manifest()
+            if manifest.get("layout_fingerprint") != spec.layout_fingerprint():
+                raise CheckpointError(
+                    f"checkpoint at {self.run_dir} belongs to a different "
+                    f"fleet spec or shard layout; use a fresh --checkpoint "
+                    f"directory or rerun with the original parameters"
+                )
+            return
+        manifest = {
+            "format_version": FLEET_FORMAT_VERSION,
+            "fingerprint": spec.fingerprint(),
+            "layout_fingerprint": spec.layout_fingerprint(),
+            "shard_count": spec.shard_count,
+            "spec": dataclasses.asdict(spec),
+        }
+        self._atomic_write(
+            self.manifest_path, json.dumps(manifest, indent=2, sort_keys=True).encode()
+        )
+
+    def _read_manifest(self) -> Dict:
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint manifest at {self.manifest_path}: {exc}"
+            ) from exc
+        if manifest.get("format_version") != FLEET_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint format {manifest.get('format_version')!r} does not "
+                f"match this build ({FLEET_FORMAT_VERSION})"
+            )
+        return manifest
+
+    # -- shards ------------------------------------------------------------
+
+    def shard_path(self, index: int) -> Path:
+        """File holding one shard's pickled result."""
+        return self.shard_dir / f"shard_{index:05d}.pkl"
+
+    def completed_indices(self) -> List[int]:
+        """Indices of every shard already persisted, ascending."""
+        if not self.shard_dir.is_dir():
+            return []
+        indices = []
+        for path in self.shard_dir.glob("shard_*.pkl"):
+            try:
+                indices.append(int(path.stem.split("_", 1)[1]))
+            except (IndexError, ValueError):
+                raise CheckpointError(f"stray file in checkpoint: {path}") from None
+        return sorted(indices)
+
+    def save(self, result: ShardResult) -> Path:
+        """Persist one shard result atomically."""
+        path = self.shard_path(result.shard_index)
+        self._atomic_write(path, pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+        return path
+
+    def load(self, index: int) -> ShardResult:
+        """Load one persisted shard result."""
+        path = self.shard_path(index)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise CheckpointError(f"cannot load shard checkpoint {path}: {exc}") from exc
+        if not isinstance(result, ShardResult) or result.shard_index != index:
+            raise CheckpointError(f"shard checkpoint {path} holds the wrong payload")
+        return result
+
+    # -- plumbing ----------------------------------------------------------
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)

@@ -1,0 +1,235 @@
+"""The fleet engine: shard, execute, reduce, report.
+
+:class:`FleetEngine` drives one :class:`~repro.fleet.spec.FleetSpec`
+end to end: build the shipped profile once, deal devices into shards,
+run the shards on any :class:`~repro.fleet.executors.FleetExecutor`
+(serial or multiprocess — same results either way), persist each shard
+into the checkpoint store as it lands, and reduce the shard outputs in
+canonical device order into a :class:`FleetReport` whose rendering is
+byte-identical across ``--jobs`` settings, shard sizes, and
+interrupt/resume cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.config import SnipConfig
+from repro.core.profiler import CloudProfiler, SnipPackage
+from repro.core.table import SnipTable
+from repro.fleet.checkpoint import CheckpointStore
+from repro.fleet.executors import (
+    DEFAULT_RETRY_BUDGET,
+    FleetExecutor,
+    SerialExecutor,
+)
+from repro.fleet.reducers import (
+    FleetTotals,
+    canonical_device_results,
+    reduce_census,
+    reduce_contributions,
+    reduce_energy,
+    reduce_totals,
+)
+from repro.fleet.spec import FleetSpec
+from repro.fleet.telemetry import RUN_FINISHED, RUN_STARTED, TelemetryBus
+from repro.fleet.work import ShardResult, ShardTask, run_shard
+from repro.soc.component import ComponentGroup
+from repro.soc.energy import EnergyReport
+from repro.units import format_bytes
+
+
+@dataclass
+class FleetReport:
+    """Deterministic aggregate of one fleet run."""
+
+    spec: FleetSpec
+    totals: FleetTotals
+    census: Dict[str, int]
+    energy: Optional[EnergyReport]
+    fleet_table: Optional[SnipTable]
+    uplink_bytes: int
+
+    @property
+    def table_entries(self) -> int:
+        """Entries in the merged federated table (0 when not federated)."""
+        return self.fleet_table.entry_count if self.fleet_table else 0
+
+    @property
+    def table_bytes(self) -> int:
+        """Shipped size of the merged federated table."""
+        return self.fleet_table.total_bytes if self.fleet_table else 0
+
+    def to_text(self) -> str:
+        """Render the aggregate report.
+
+        Deliberately free of wall-clock and worker facts: two runs of
+        the same spec must render byte-identically however they were
+        scheduled (the acceptance property the tests pin).
+        """
+        spec = self.spec
+        lines = [
+            f"fleet: {spec.game_name} | {spec.devices} devices x "
+            f"{spec.sessions_per_device} sessions x {spec.duration_s:g}s | "
+            f"seed {spec.seed}",
+            "census: "
+            + ", ".join(f"{name}={count}" for name, count in self.census.items()),
+            f"events: {self.totals.events} across {self.totals.sessions} sessions",
+        ]
+        if spec.measure_energy:
+            lines.append(
+                f"energy: snip {self.totals.snip_joules:.6f} J vs baseline "
+                f"{self.totals.baseline_joules:.6f} J -> "
+                f"savings {self.totals.savings:.2%}"
+            )
+            lines.append(
+                f"coverage: {self.totals.coverage:.2%} | "
+                f"hit rate: {self.totals.hit_rate:.2%}"
+            )
+            if self.energy is not None:
+                shares = ", ".join(
+                    f"{group.value}={self.energy.group_fraction(group):.1%}"
+                    for group in ComponentGroup
+                )
+                lines.append(f"fleet ledger: {shares}")
+        if self.fleet_table is not None:
+            lines.append(
+                f"fleet table: {self.table_entries} entries, "
+                f"{format_bytes(self.table_bytes)}"
+            )
+            lines.append(
+                f"uplink (statistics only): {format_bytes(self.uplink_bytes)} "
+                f"(raw events would be "
+                f"{format_bytes(self.totals.raw_uplink_bytes)})"
+            )
+        return "\n".join(lines)
+
+
+class FleetEngine:
+    """Orchestrates one fleet simulation."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        executor: Optional[FleetExecutor] = None,
+        config: Optional[SnipConfig] = None,
+        telemetry: Optional[TelemetryBus] = None,
+        checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+    ) -> None:
+        self.spec = spec
+        self.executor = executor or SerialExecutor()
+        self.config = config or SnipConfig()
+        self.telemetry = telemetry or TelemetryBus()
+        if checkpoint is not None and not isinstance(checkpoint, CheckpointStore):
+            checkpoint = CheckpointStore(checkpoint)
+        self.checkpoint = checkpoint
+        self.retry_budget = retry_budget
+        self._package: Optional[SnipPackage] = None
+
+    # -- shipped artifacts -------------------------------------------------
+
+    def build_package(self) -> SnipPackage:
+        """Profile once centrally; every device receives the result.
+
+        Cached: the profile is a pure function of the spec's profile
+        seeds/duration, so resumes and repeated calls agree.
+        """
+        if self._package is None:
+            profiler = CloudProfiler(self.config)
+            self._package = profiler.build_package_from_sessions(
+                self.spec.game_name,
+                seeds=list(self.spec.profile_seeds),
+                duration_s=self.spec.profile_duration_s,
+            )
+        return self._package
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> FleetReport:
+        """Execute the sweep (resuming any checkpointed shards) and reduce."""
+        spec = self.spec
+        package = self.build_package()
+        shards = spec.shards()
+        done: Dict[int, ShardResult] = {}
+        if self.checkpoint is not None:
+            self.checkpoint.initialise(spec)
+            for index in self.checkpoint.completed_indices():
+                done[index] = self.checkpoint.load(index)
+        remaining = [shard for shard in shards if shard.index not in done]
+        self.telemetry.emit(
+            RUN_STARTED,
+            devices=spec.devices,
+            shards=len(shards),
+            resumed=len(done),
+            jobs=self.executor.jobs,
+        )
+        tasks = [
+            ShardTask(
+                shard_index=shard.index,
+                spec=spec,
+                device_ids=shard.device_ids,
+                selection=package.selection,
+                table=package.table,
+                config=self.config,
+            )
+            for shard in remaining
+        ]
+
+        def _persist(position: int, result: ShardResult) -> None:
+            if self.checkpoint is not None:
+                self.checkpoint.save(result)
+
+        fresh = self.executor.run(
+            run_shard,
+            tasks,
+            telemetry=self.telemetry,
+            on_result=_persist,
+            retry_budget=self.retry_budget,
+        )
+        for result in fresh:
+            done[result.shard_index] = result
+        report = self._reduce(list(done.values()))
+        self.telemetry.emit(
+            RUN_FINISHED,
+            events=self.telemetry.counters.events_processed,
+            events_per_second=self.telemetry.events_per_second(),
+            failures=self.telemetry.counters.worker_failures,
+        )
+        return report
+
+    # -- reduction ---------------------------------------------------------
+
+    def _reduce(self, shard_results: List[ShardResult]) -> FleetReport:
+        package = self.build_package()
+        devices = canonical_device_results(shard_results, self.spec)
+        totals = reduce_totals(devices)
+        federated = reduce_contributions(devices, package.selection, self.config)
+        fleet_table, uplink = federated if federated else (None, 0)
+        return FleetReport(
+            spec=self.spec,
+            totals=totals,
+            census=reduce_census(devices),
+            energy=reduce_energy(devices),
+            fleet_table=fleet_table,
+            uplink_bytes=uplink,
+        )
+
+
+def run_fleet(
+    spec: FleetSpec,
+    executor: Optional[FleetExecutor] = None,
+    config: Optional[SnipConfig] = None,
+    telemetry: Optional[TelemetryBus] = None,
+    checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
+) -> FleetReport:
+    """Convenience one-shot: build an engine and run it."""
+    return FleetEngine(
+        spec,
+        executor=executor,
+        config=config,
+        telemetry=telemetry,
+        checkpoint=checkpoint,
+    ).run()

@@ -1,0 +1,206 @@
+"""Execution backends for fleet work: serial and multiprocessing.
+
+Both executors implement the same contract: run a picklable function
+over an indexed list of payloads and return the results *in payload
+order*, regardless of completion order. Failures are retried against a
+capped, run-wide retry budget; exhausting it raises
+:class:`~repro.errors.WorkerCrashError`. Because results are slotted by
+index and every payload is self-contained, the choice of executor (and
+the number of workers) can never change what a fleet run computes —
+only how fast it computes it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import FleetError, WorkerCrashError
+from repro.fleet.telemetry import (
+    SHARD_FINISHED,
+    SHARD_RETRIED,
+    SHARD_STARTED,
+    WORKER_FAILURE,
+    TelemetryBus,
+)
+
+#: Default cap on retries across one whole run (not per payload).
+DEFAULT_RETRY_BUDGET = 3
+
+
+class FleetExecutor:
+    """Contract shared by every execution backend."""
+
+    #: Worker parallelism the backend provides.
+    jobs: int = 1
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        telemetry: Optional[TelemetryBus] = None,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+    ) -> List[Any]:
+        """Run ``fn`` over ``payloads``; results ordered by payload index.
+
+        ``on_result(index, result)`` fires as each result lands (in
+        completion order — used for incremental checkpointing), while
+        the returned list is always index-ordered.
+        """
+        raise NotImplementedError
+
+
+class _RetryBudget:
+    """Run-wide failure allowance shared by all payloads."""
+
+    def __init__(self, budget: int) -> None:
+        if budget < 0:
+            raise FleetError(f"retry budget must be non-negative, got {budget}")
+        self._remaining = budget
+
+    def spend(self, index: Optional[int], error: BaseException) -> None:
+        """Consume one retry, or raise when the budget is gone."""
+        if self._remaining <= 0:
+            raise WorkerCrashError(
+                f"retry budget exhausted at shard {index}: {error!r}"
+            ) from error
+        self._remaining -= 1
+
+
+class SerialExecutor(FleetExecutor):
+    """In-process fallback sharing the pool executor's interface.
+
+    Used for ``--jobs 1``, for environments without usable process
+    pools, and as the determinism reference the parallel path is
+    byte-compared against.
+    """
+
+    jobs = 1
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        telemetry: Optional[TelemetryBus] = None,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+    ) -> List[Any]:
+        budget = _RetryBudget(retry_budget)
+        results: List[Any] = [None] * len(payloads)
+        for index, payload in enumerate(payloads):
+            while True:
+                if telemetry:
+                    telemetry.emit(SHARD_STARTED, shard_index=index)
+                try:
+                    result = fn(payload)
+                except Exception as exc:
+                    budget.spend(index, exc)
+                    if telemetry:
+                        telemetry.emit(
+                            WORKER_FAILURE, shard_index=index, error=repr(exc)
+                        )
+                        telemetry.emit(SHARD_RETRIED, shard_index=index)
+                    continue
+                results[index] = result
+                _announce(telemetry, index, result)
+                if on_result:
+                    on_result(index, result)
+                break
+        return results
+
+
+class ProcessFleetExecutor(FleetExecutor):
+    """``multiprocessing``-backed pool executor.
+
+    Survives both worker exceptions (the payload is resubmitted) and
+    whole-pool crashes (the pool is rebuilt and every unfinished payload
+    resubmitted), each charged against the shared retry budget.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 2:
+            raise FleetError(
+                f"ProcessFleetExecutor needs jobs >= 2, got {jobs}; "
+                "use SerialExecutor for single-worker runs"
+            )
+        self.jobs = jobs
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        telemetry: Optional[TelemetryBus] = None,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+    ) -> List[Any]:
+        budget = _RetryBudget(retry_budget)
+        results: List[Any] = [None] * len(payloads)
+        pending = list(range(len(payloads)))
+        while pending:
+            try:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    futures = {}
+                    for index in pending:
+                        futures[pool.submit(fn, payloads[index])] = index
+                        if telemetry:
+                            telemetry.emit(SHARD_STARTED, shard_index=index)
+                    failed: List[int] = []
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        try:
+                            result = future.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as exc:
+                            budget.spend(index, exc)
+                            if telemetry:
+                                telemetry.emit(
+                                    WORKER_FAILURE, shard_index=index, error=repr(exc)
+                                )
+                                telemetry.emit(SHARD_RETRIED, shard_index=index)
+                            failed.append(index)
+                            continue
+                        results[index] = result
+                        _announce(telemetry, index, result)
+                        if on_result:
+                            on_result(index, result)
+                    pending = failed
+            except BrokenProcessPool as exc:
+                # A worker died hard (OOM-kill, segfault): every
+                # in-flight future fails at once. Rebuild the pool and
+                # resubmit whatever has no result yet, charging one
+                # retry for the crash rather than one per casualty.
+                budget.spend(None, exc)
+                pending = [index for index in pending if results[index] is None]
+                if telemetry:
+                    telemetry.emit(WORKER_FAILURE, error="process pool crashed")
+                    for index in pending:
+                        telemetry.emit(SHARD_RETRIED, shard_index=index)
+        return results
+
+
+def _announce(telemetry: Optional[TelemetryBus], index: int, result: Any) -> None:
+    """Emit SHARD_FINISHED, reading counters off fleet shard results."""
+    if telemetry is None:
+        return
+    payload = {}
+    for attribute, name in (
+        ("events_processed", "events"),
+        ("device_count", "devices"),
+        ("wall_seconds", "wall_s"),
+    ):
+        value = getattr(result, attribute, None)
+        if value is not None:
+            payload[name] = value
+    telemetry.emit(SHARD_FINISHED, shard_index=index, **payload)
+
+
+def make_executor(jobs: int) -> FleetExecutor:
+    """The executor for a ``--jobs N`` request."""
+    if jobs < 1:
+        raise FleetError(f"jobs must be positive, got {jobs}")
+    if jobs == 1:
+        return SerialExecutor()
+    return ProcessFleetExecutor(jobs)

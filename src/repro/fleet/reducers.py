@@ -1,0 +1,156 @@
+"""Order-independent reduction of fleet shard outputs.
+
+Workers finish in whatever order the scheduler picks, so every reducer
+here first *canonicalises* — flattens shard results and sorts by device
+id, verifying the population is complete — and only then folds. Folding
+over a canonical order makes even floating-point sums bit-identical
+across ``--jobs`` settings and shard sizes; commutativity alone would
+not (float addition is not associative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import SnipConfig
+from repro.core.federated import federate_contributions
+from repro.core.selection import SelectedInputs
+from repro.core.table import SnipTable
+from repro.errors import FleetError
+from repro.fleet.spec import FleetSpec
+from repro.fleet.work import DeviceResult, ShardResult
+from repro.soc.energy import EnergyReport, merge_reports
+
+
+def canonical_device_results(
+    shard_results: Iterable[ShardResult], spec: FleetSpec
+) -> List[DeviceResult]:
+    """Flatten shards into the device-id order every reducer folds in.
+
+    Raises :class:`FleetError` when devices are missing or duplicated —
+    a scheduler bug must never silently skew an aggregate.
+    """
+    flat: Dict[int, DeviceResult] = {}
+    for shard in shard_results:
+        if shard.spec_fingerprint != spec.fingerprint():
+            raise FleetError(
+                f"shard {shard.shard_index} was computed under a different "
+                f"spec (fingerprint mismatch)"
+            )
+        for device in shard.device_results:
+            if device.device_id in flat:
+                raise FleetError(f"device {device.device_id} reported twice")
+            flat[device.device_id] = device
+    expected = set(range(spec.devices))
+    missing = expected - set(flat)
+    if missing:
+        raise FleetError(f"devices missing from fleet results: {sorted(missing)}")
+    extra = set(flat) - expected
+    if extra:
+        raise FleetError(f"unexpected device ids in fleet results: {sorted(extra)}")
+    return [flat[device_id] for device_id in sorted(flat)]
+
+
+@dataclass(frozen=True)
+class FleetTotals:
+    """Scalar aggregates folded over the canonical device order."""
+
+    devices: int
+    sessions: int
+    events: int
+    snip_joules: float
+    baseline_joules: float
+    hits: int
+    misses: int
+    avoided_cycles: float
+    executed_cycles: float
+    raw_uplink_bytes: int
+
+    @property
+    def savings(self) -> float:
+        """Fleet-wide energy saved by SNIP vs the baseline fleet."""
+        if self.baseline_joules <= 0:
+            return 0.0
+        return 1.0 - self.snip_joules / self.baseline_joules
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of delivered events that short-circuited."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Cycle-weighted fraction of execution short-circuited."""
+        total = self.avoided_cycles + self.executed_cycles
+        return self.avoided_cycles / total if total else 0.0
+
+
+def reduce_totals(device_results: List[DeviceResult]) -> FleetTotals:
+    """Fold the scalar counters (expects canonical order)."""
+    snip_joules = 0.0
+    baseline_joules = 0.0
+    avoided = 0.0
+    executed = 0.0
+    hits = 0
+    misses = 0
+    events = 0
+    sessions = 0
+    raw_bytes = 0
+    for device in device_results:
+        snip_joules += device.snip_joules
+        baseline_joules += device.baseline_joules
+        avoided += device.avoided_cycles
+        executed += device.executed_cycles
+        hits += device.hits
+        misses += device.misses
+        events += device.events
+        sessions += device.sessions
+        raw_bytes += device.raw_uplink_bytes
+    return FleetTotals(
+        devices=len(device_results),
+        sessions=sessions,
+        events=events,
+        snip_joules=snip_joules,
+        baseline_joules=baseline_joules,
+        hits=hits,
+        misses=misses,
+        avoided_cycles=avoided,
+        executed_cycles=executed,
+        raw_uplink_bytes=raw_bytes,
+    )
+
+
+def reduce_energy(device_results: List[DeviceResult]) -> Optional[EnergyReport]:
+    """Merge per-device ledgers into one fleet ledger (canonical order)."""
+    reports = [device.report for device in device_results if device.report]
+    if not reports:
+        return None
+    return merge_reports(reports)
+
+
+def reduce_census(device_results: List[DeviceResult]) -> Dict[str, int]:
+    """Archetype head-count, keys sorted for stable rendering."""
+    counts: Dict[str, int] = {}
+    for device in device_results:
+        counts[device.archetype] = counts.get(device.archetype, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def reduce_contributions(
+    device_results: List[DeviceResult],
+    selection: SelectedInputs,
+    config: SnipConfig,
+) -> Optional[Tuple[SnipTable, int]]:
+    """Merge device statistics into the fleet table (canonical order).
+
+    Returns ``(table, uplink_bytes)`` or ``None`` when the run did not
+    federate.
+    """
+    contributions = [
+        device.contribution for device in device_results if device.contribution
+    ]
+    if not contributions:
+        return None
+    return federate_contributions(contributions, selection, config)

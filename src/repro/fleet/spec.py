@@ -1,0 +1,146 @@
+"""Fleet run specification and shard planning.
+
+A :class:`FleetSpec` pins down *everything* a fleet simulation depends
+on — game, device population, per-device session plan, and the seeds of
+every random stream — so that two runs of the same spec are identical
+no matter how the work is scheduled. Shard planning is a pure function
+of the spec: device ids are dealt into contiguous chunks, and each
+device's randomness is derived from ``(seed, device_id)`` alone, never
+from the shard it happens to land in. That derivation is what makes
+``--jobs 1`` and ``--jobs 8`` byte-identical in aggregate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Tuple
+
+from repro.errors import FleetError
+from repro.games.registry import GAME_NAMES
+
+#: Bump when the spec/shard/result wire format changes incompatibly;
+#: checkpoints embed it so stale run directories are rejected loudly.
+FLEET_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Complete, immutable description of one fleet simulation.
+
+    Attributes
+    ----------
+    game_name:
+        Workload every device plays (one game per fleet run, matching
+        the paper's per-game profiling pipeline).
+    devices:
+        Population size; device ids are ``0..devices-1``.
+    sessions_per_device:
+        How many recorded sessions each device plays.
+    duration_s:
+        Nominal session length; each device's archetype rescales it.
+    seed:
+        Master seed. Seeds the population's archetype deal and, through
+        it, every device's gesture streams.
+    shard_size:
+        Devices per unit of schedulable work. Aggregates must not
+        depend on it (the determinism property test pins this).
+    profile_seeds / profile_duration_s:
+        Sessions the cloud profiler replays to build the shipped
+        necessary-input selection and seed table.
+    measure_energy:
+        When True each session runs both the SNIP runtime and the
+        baseline event loop on fresh SoCs; when False only the
+        federated statistics pass runs (cheap, e.g. for table-building
+        fleets).
+    federate:
+        When True each device uploads per-key sufficient statistics and
+        the reducer merges them into a fleet table.
+    """
+
+    game_name: str
+    devices: int
+    sessions_per_device: int = 1
+    duration_s: float = 10.0
+    seed: int = 0
+    shard_size: int = 8
+    profile_seeds: Tuple[int, ...] = (1,)
+    profile_duration_s: float = 15.0
+    measure_energy: bool = True
+    federate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.game_name not in GAME_NAMES:
+            raise FleetError(f"unknown game {self.game_name!r}")
+        if self.devices < 1:
+            raise FleetError(f"fleet needs at least one device, got {self.devices}")
+        if self.sessions_per_device < 1:
+            raise FleetError(
+                f"sessions_per_device must be positive, got {self.sessions_per_device}"
+            )
+        if self.duration_s <= 0 or self.profile_duration_s <= 0:
+            raise FleetError("session durations must be positive")
+        if self.shard_size < 1:
+            raise FleetError(f"shard_size must be positive, got {self.shard_size}")
+        if not self.profile_seeds:
+            raise FleetError("profile_seeds must not be empty")
+        if not (self.measure_energy or self.federate):
+            raise FleetError("a fleet run must measure energy, federate, or both")
+
+    # -- identity ----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable digest of everything that determines the results.
+
+        ``shard_size`` is deliberately *excluded*: resharding a
+        checkpointed run would change which shard file holds which
+        device, so the checkpoint store hashes it separately, but the
+        aggregate results it protects are shard-size invariant.
+        """
+        payload = asdict(self)
+        payload.pop("shard_size")
+        payload["format_version"] = FLEET_FORMAT_VERSION
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+    def layout_fingerprint(self) -> str:
+        """Fingerprint *including* the shard layout (checkpoint identity)."""
+        combined = f"{self.fingerprint()}:shard_size={self.shard_size}"
+        return hashlib.blake2b(combined.encode("utf-8"), digest_size=16).hexdigest()
+
+    # -- shard planning ----------------------------------------------------
+
+    @property
+    def total_sessions(self) -> int:
+        """Sessions across the whole fleet."""
+        return self.devices * self.sessions_per_device
+
+    @property
+    def shard_count(self) -> int:
+        """How many shards the device population splits into."""
+        return (self.devices + self.shard_size - 1) // self.shard_size
+
+    def shards(self) -> List["Shard"]:
+        """Deal device ids into contiguous shards."""
+        plan = []
+        for index in range(self.shard_count):
+            start = index * self.shard_size
+            stop = min(start + self.shard_size, self.devices)
+            plan.append(Shard(index=index, device_ids=tuple(range(start, stop))))
+        return plan
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One schedulable chunk of the device population."""
+
+    index: int
+    device_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.device_ids:
+            raise FleetError(f"shard {self.index} has no devices")
+
+    def __len__(self) -> int:
+        return len(self.device_ids)

@@ -1,0 +1,175 @@
+"""Per-shard fleet work: the function that runs inside worker processes.
+
+Everything that crosses the process boundary lives here and must stay
+picklable: the :class:`ShardTask` going out (spec + shipped table) and
+the :class:`ShardResult` coming back (per-device ledgers, runtime
+counters, federated statistics). Each device is simulated purely from
+``(spec.seed, device_id)``; the shard a device lands in never feeds any
+random stream, which is the root of the engine's jobs/shard-size
+determinism guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.android.dispatch import EventLoop
+from repro.core.config import SnipConfig
+from repro.core.federated import DeviceContribution, build_device_contribution
+from repro.core.runtime import SnipRuntime
+from repro.core.selection import SelectedInputs
+from repro.core.table import SnipTable
+from repro.fleet.spec import FleetSpec
+from repro.games.registry import GAME_CONTENT_SEED, create_game
+from repro.soc.energy import EnergyReport, merge_reports
+from repro.soc.soc import snapdragon_821
+from repro.users.population import Population
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's worth of work, shipped to a worker process."""
+
+    shard_index: int
+    spec: FleetSpec
+    device_ids: Tuple[int, ...]
+    #: The centrally profiled artifacts every device receives over the
+    #: air: the necessary-input selection and the seed table.
+    selection: SelectedInputs
+    table: SnipTable
+    config: SnipConfig
+
+
+@dataclass
+class DeviceResult:
+    """Everything one device reports back to the aggregator."""
+
+    device_id: int
+    archetype: str
+    sessions: int
+    events: int = 0
+    #: SNIP-runtime ledger merged over the device's sessions.
+    report: Optional[EnergyReport] = None
+    baseline_joules: float = 0.0
+    hits: int = 0
+    misses: int = 0
+    avoided_cycles: float = 0.0
+    executed_cycles: float = 0.0
+    raw_uplink_bytes: int = 0
+    contribution: Optional[DeviceContribution] = None
+
+    @property
+    def snip_joules(self) -> float:
+        """Total energy the device spent under the SNIP runtime."""
+        return self.report.total_joules if self.report else 0.0
+
+
+@dataclass
+class ShardResult:
+    """One shard's aggregated worker output."""
+
+    shard_index: int
+    spec_fingerprint: str
+    device_results: List[DeviceResult] = field(default_factory=list)
+    #: Wall time the worker spent; telemetry only, never aggregated
+    #: into the deterministic report.
+    wall_seconds: float = 0.0
+
+    @property
+    def device_count(self) -> int:
+        """Devices simulated by this shard."""
+        return len(self.device_results)
+
+    @property
+    def events_processed(self) -> int:
+        """Simulated events across the shard's devices."""
+        return sum(result.events for result in self.device_results)
+
+
+def _replay_through(runner, trace, effective_s: float, soc) -> None:
+    """Feed a recorded trace through a runner, advancing session time."""
+    clock = 0.0
+    for recorded in trace:
+        event = recorded.to_event()
+        if event.timestamp > clock:
+            soc.advance_time(event.timestamp - clock)
+            clock = event.timestamp
+        runner.deliver(event)
+    if effective_s > clock:
+        soc.advance_time(effective_s - clock)
+
+
+def run_device(
+    device_id: int,
+    spec: FleetSpec,
+    selection: SelectedInputs,
+    table: SnipTable,
+    config: SnipConfig,
+    population: Optional[Population] = None,
+) -> DeviceResult:
+    """Simulate one device's sessions; pure in ``(spec.seed, device_id)``."""
+    population = population or Population(seed=spec.seed)
+    archetype = population.archetype_of(device_id)
+    result = DeviceResult(
+        device_id=device_id,
+        archetype=archetype.name,
+        sessions=spec.sessions_per_device,
+    )
+    traces = [
+        population.user_trace(spec.game_name, device_id, session, spec.duration_s)
+        for session in range(spec.sessions_per_device)
+    ]
+    result.events = sum(len(trace) for trace in traces)
+    result.raw_uplink_bytes = sum(trace.uplink_bytes for trace in traces)
+    if spec.measure_energy:
+        session_reports = []
+        for trace in traces:
+            effective_s = spec.duration_s * archetype.session_scale
+            # The SNIP pass: shipped table (private copy, so online
+            # learning stays per-session), full probe accounting.
+            soc = snapdragon_821()
+            game = create_game(spec.game_name, seed=GAME_CONTENT_SEED)
+            runtime = SnipRuntime(soc, game, table.clone(), config)
+            _replay_through(runtime, trace, effective_s, soc)
+            session_reports.append(soc.report())
+            result.hits += runtime.stats.hits
+            result.misses += runtime.stats.misses
+            result.avoided_cycles += runtime.stats.avoided_cycles
+            result.executed_cycles += runtime.stats.executed_cycles
+            # The baseline pass: same events on an unmodified phone.
+            base_soc = snapdragon_821()
+            base_game = create_game(spec.game_name, seed=GAME_CONTENT_SEED)
+            loop = EventLoop(base_soc, base_game)
+            _replay_through(loop, trace, effective_s, base_soc)
+            result.baseline_joules += base_soc.meter.total_joules
+        result.report = merge_reports(session_reports)
+    if spec.federate:
+        result.contribution = build_device_contribution(
+            device_id, spec.game_name, traces, selection
+        )
+    return result
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Worker entry point: simulate every device in the shard."""
+    started = time.monotonic()
+    population = Population(seed=task.spec.seed)
+    result = ShardResult(
+        shard_index=task.shard_index,
+        spec_fingerprint=task.spec.fingerprint(),
+    )
+    for device_id in task.device_ids:
+        result.device_results.append(
+            run_device(
+                device_id,
+                task.spec,
+                task.selection,
+                task.table,
+                task.config,
+                population=population,
+            )
+        )
+    result.wall_seconds = time.monotonic() - started
+    return result

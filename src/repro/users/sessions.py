@@ -109,6 +109,17 @@ class SessionResult:
         return sum(t.total_cycles for t in self.traces if t.useless) / total
 
 
+def run_baseline_session_task(payload: tuple) -> SessionResult:
+    """Picklable adapter for fleet executors.
+
+    ``payload`` is ``(game_name, seed, duration_s)``; module-level so a
+    ``multiprocessing`` pool can ship it to workers. The analysis
+    drivers fan their per-game sessions out through this.
+    """
+    game_name, seed, duration_s = payload
+    return run_baseline_session(game_name, seed=seed, duration_s=duration_s)
+
+
 def run_baseline_session(
     game_name: str,
     seed: int = 0,

@@ -1,0 +1,40 @@
+"""Shared fixtures for the fleet tests.
+
+The specs here are deliberately tiny (few devices, short sessions) so
+the determinism properties can be checked end-to-end — including across
+a real process pool — without dominating the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SnipConfig
+from repro.core.profiler import CloudProfiler
+from repro.fleet import FleetSpec
+
+
+@pytest.fixture(scope="session")
+def small_spec():
+    """A full fleet run (energy + federation) small enough for tests."""
+    return FleetSpec(
+        game_name="candy_crush",
+        devices=6,
+        sessions_per_device=1,
+        duration_s=4.0,
+        seed=3,
+        shard_size=2,
+        profile_seeds=(1,),
+        profile_duration_s=6.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_package(small_spec):
+    """The centrally profiled package every shard task ships."""
+    profiler = CloudProfiler(SnipConfig())
+    return profiler.build_package_from_sessions(
+        small_spec.game_name,
+        seeds=list(small_spec.profile_seeds),
+        duration_s=small_spec.profile_duration_s,
+    )

@@ -1,0 +1,117 @@
+"""Checkpoint store and interrupt/resume behaviour."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.fleet import CheckpointStore, FleetEngine, SerialExecutor
+from repro.fleet.work import run_shard
+
+
+class InterruptingExecutor(SerialExecutor):
+    """Serial executor that dies after completing ``limit`` payloads —
+    the test's stand-in for ctrl-C / power loss mid-sweep."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+
+    def run(self, fn, payloads, telemetry=None, on_result=None, retry_budget=3):
+        done = 0
+
+        def counting(index, result):
+            nonlocal done
+            if on_result:
+                on_result(index, result)
+            done += 1
+            if done >= self.limit:
+                raise KeyboardInterrupt("simulated interrupt")
+
+        return super().run(
+            fn, payloads, telemetry=telemetry,
+            on_result=counting, retry_budget=retry_budget,
+        )
+
+
+def test_initialise_writes_manifest_and_accepts_same_spec(tmp_path, small_spec):
+    store = CheckpointStore(tmp_path / "run")
+    store.initialise(small_spec)
+    assert store.manifest_path.exists()
+    store.initialise(small_spec)  # idempotent
+
+
+def test_initialise_rejects_different_spec_or_layout(tmp_path, small_spec):
+    store = CheckpointStore(tmp_path / "run")
+    store.initialise(small_spec)
+    with pytest.raises(CheckpointError, match="different"):
+        store.initialise(replace(small_spec, seed=small_spec.seed + 1))
+    with pytest.raises(CheckpointError, match="different"):
+        store.initialise(replace(small_spec, shard_size=small_spec.shard_size + 1))
+
+
+def test_save_load_roundtrip_and_completed_indices(
+    tmp_path, small_spec, small_package
+):
+    from repro.core.config import SnipConfig
+    from repro.fleet.work import ShardTask
+
+    store = CheckpointStore(tmp_path / "run")
+    store.initialise(small_spec)
+    assert store.completed_indices() == []
+    result = run_shard(
+        ShardTask(
+            shard_index=1,
+            spec=small_spec,
+            device_ids=(2, 3),
+            selection=small_package.selection,
+            table=small_package.table,
+            config=SnipConfig(),
+        )
+    )
+    store.save(result)
+    assert store.completed_indices() == [1]
+    loaded = store.load(1)
+    assert loaded.spec_fingerprint == result.spec_fingerprint
+    assert loaded.events_processed == result.events_processed
+
+
+def test_load_rejects_corrupt_shard(tmp_path, small_spec):
+    store = CheckpointStore(tmp_path / "run")
+    store.initialise(small_spec)
+    store.shard_path(0).write_bytes(b"not a pickle")
+    with pytest.raises(CheckpointError, match="cannot load"):
+        store.load(0)
+
+
+def test_stray_checkpoint_files_are_loud(tmp_path, small_spec):
+    store = CheckpointStore(tmp_path / "run")
+    store.initialise(small_spec)
+    (store.shard_dir / "shard_oops.pkl").write_bytes(b"")
+    with pytest.raises(CheckpointError, match="stray"):
+        store.completed_indices()
+
+
+def test_interrupted_run_resumes_to_identical_report(tmp_path, small_spec):
+    run_dir = tmp_path / "run"
+    reference = FleetEngine(small_spec).run().to_text()
+
+    with pytest.raises(KeyboardInterrupt):
+        FleetEngine(
+            small_spec,
+            executor=InterruptingExecutor(limit=2),
+            checkpoint=run_dir,
+        ).run()
+    partial = CheckpointStore(run_dir).completed_indices()
+    assert len(partial) == 2  # progress survived the crash
+
+    resumed = FleetEngine(small_spec, checkpoint=run_dir).run().to_text()
+    assert resumed == reference
+    # Every shard is now persisted; a third run is pure replay.
+    assert (
+        CheckpointStore(run_dir).completed_indices()
+        == list(range(small_spec.shard_count))
+    )
+    replayed = FleetEngine(small_spec, checkpoint=run_dir).run().to_text()
+    assert replayed == reference

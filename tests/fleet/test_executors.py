@@ -1,0 +1,120 @@
+"""Executor contract: ordering, retries, budgets, and pool recovery.
+
+The worker functions live at module level so both executors can pickle
+them; the flaky ones coordinate through marker files because a process
+pool cannot share in-memory state with the test.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import FleetError, WorkerCrashError
+from repro.fleet.executors import (
+    ProcessFleetExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.fleet.telemetry import TelemetryBus
+
+
+def _square(value):
+    return value * value
+
+
+def _slow_square(payload):
+    value, delay_s = payload
+    time.sleep(delay_s)
+    return value * value
+
+
+def _always_fails(value):
+    raise ValueError(f"payload {value} is cursed")
+
+
+def _flaky(payload):
+    """Fail the first time each payload is seen, succeed after."""
+    value, marker_dir = payload
+    marker = marker_dir / f"seen_{value}"
+    if not marker.exists():
+        marker.write_text("attempted")
+        raise RuntimeError(f"first attempt at {value}")
+    return value * value
+
+
+def test_make_executor_dispatch():
+    assert isinstance(make_executor(1), SerialExecutor)
+    pool = make_executor(3)
+    assert isinstance(pool, ProcessFleetExecutor)
+    assert pool.jobs == 3
+    with pytest.raises(FleetError):
+        make_executor(0)
+    with pytest.raises(FleetError):
+        ProcessFleetExecutor(1)
+
+
+def test_serial_returns_results_in_payload_order():
+    executor = SerialExecutor()
+    collected = []
+    results = executor.run(
+        _square, [3, 1, 2], on_result=lambda i, r: collected.append((i, r))
+    )
+    assert results == [9, 1, 4]
+    assert collected == [(0, 9), (1, 1), (2, 4)]
+
+
+def test_serial_retries_and_counts_failures(tmp_path):
+    executor = SerialExecutor()
+    telemetry = TelemetryBus()
+    results = executor.run(
+        _flaky, [(2, tmp_path), (5, tmp_path)], telemetry=telemetry
+    )
+    assert results == [4, 25]
+    assert telemetry.counters.worker_failures == 2
+    assert telemetry.counters.retries == 2
+
+
+def test_serial_raises_when_budget_exhausted():
+    executor = SerialExecutor()
+    with pytest.raises(WorkerCrashError, match="retry budget exhausted"):
+        executor.run(_always_fails, [1], retry_budget=2)
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(FleetError):
+        SerialExecutor().run(_square, [1], retry_budget=-1)
+
+
+def test_process_pool_orders_results_despite_completion_order():
+    executor = ProcessFleetExecutor(3)
+    # Earlier payloads sleep longer, so completion order inverts payload
+    # order — the returned list must not.
+    payloads = [(4, 0.3), (3, 0.15), (2, 0.0)]
+    landed = []
+    results = executor.run(
+        _slow_square, payloads, on_result=lambda i, r: landed.append(i)
+    )
+    assert results == [16, 9, 4]
+    assert sorted(landed) == [0, 1, 2]
+
+
+def test_process_pool_retries_worker_exceptions(tmp_path):
+    executor = ProcessFleetExecutor(2)
+    telemetry = TelemetryBus()
+    results = executor.run(
+        _flaky,
+        [(2, tmp_path), (3, tmp_path), (4, tmp_path)],
+        telemetry=telemetry,
+        retry_budget=3,
+    )
+    assert results == [4, 9, 16]
+    assert telemetry.counters.worker_failures == 3
+    assert telemetry.counters.retries == 3
+
+
+def test_process_pool_raises_when_budget_exhausted():
+    executor = ProcessFleetExecutor(2)
+    with pytest.raises(WorkerCrashError, match="retry budget exhausted"):
+        executor.run(_always_fails, [1, 2], retry_budget=1)

@@ -1,0 +1,68 @@
+"""FleetSpec validation, fingerprints, and shard planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import FleetSpec, Shard
+
+
+def test_spec_rejects_bad_parameters():
+    with pytest.raises(FleetError):
+        FleetSpec(game_name="no_such_game", devices=4)
+    with pytest.raises(FleetError):
+        FleetSpec(game_name="candy_crush", devices=0)
+    with pytest.raises(FleetError):
+        FleetSpec(game_name="candy_crush", devices=4, sessions_per_device=0)
+    with pytest.raises(FleetError):
+        FleetSpec(game_name="candy_crush", devices=4, duration_s=0.0)
+    with pytest.raises(FleetError):
+        FleetSpec(game_name="candy_crush", devices=4, shard_size=0)
+    with pytest.raises(FleetError):
+        FleetSpec(game_name="candy_crush", devices=4, profile_seeds=())
+    with pytest.raises(FleetError):
+        FleetSpec(
+            game_name="candy_crush", devices=4,
+            measure_energy=False, federate=False,
+        )
+
+
+def test_shards_cover_every_device_exactly_once():
+    spec = FleetSpec(game_name="candy_crush", devices=11, shard_size=4)
+    shards = spec.shards()
+    assert len(shards) == spec.shard_count == 3
+    dealt = [device for shard in shards for device in shard.device_ids]
+    assert dealt == list(range(11))
+    assert [shard.index for shard in shards] == [0, 1, 2]
+
+
+def test_shard_rejects_empty_device_list():
+    with pytest.raises(FleetError):
+        Shard(index=0, device_ids=())
+
+
+def test_fingerprint_ignores_shard_size_but_layout_does_not():
+    base = FleetSpec(game_name="candy_crush", devices=10, shard_size=2)
+    resharded = FleetSpec(game_name="candy_crush", devices=10, shard_size=5)
+    assert base.fingerprint() == resharded.fingerprint()
+    assert base.layout_fingerprint() != resharded.layout_fingerprint()
+
+
+def test_fingerprint_tracks_result_affecting_fields():
+    base = FleetSpec(game_name="candy_crush", devices=10)
+    for variant in (
+        FleetSpec(game_name="candy_crush", devices=11),
+        FleetSpec(game_name="candy_crush", devices=10, seed=1),
+        FleetSpec(game_name="candy_crush", devices=10, duration_s=11.0),
+        FleetSpec(game_name="candy_crush", devices=10, sessions_per_device=2),
+        FleetSpec(game_name="candy_crush", devices=10, profile_seeds=(1, 2)),
+        FleetSpec(game_name="candy_crush", devices=10, measure_energy=False),
+        FleetSpec(game_name="greenwall", devices=10),
+    ):
+        assert variant.fingerprint() != base.fingerprint()
+
+
+def test_total_sessions():
+    spec = FleetSpec(game_name="candy_crush", devices=7, sessions_per_device=3)
+    assert spec.total_sessions == 21

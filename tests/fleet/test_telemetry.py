@@ -1,0 +1,78 @@
+"""TelemetryBus counters, throughput math, and the progress printer."""
+
+from __future__ import annotations
+
+import io
+
+from repro.fleet.telemetry import (
+    RUN_FINISHED,
+    RUN_STARTED,
+    SHARD_FINISHED,
+    SHARD_RETRIED,
+    WORKER_FAILURE,
+    TelemetryBus,
+    progress_printer,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_counters_accumulate_by_kind():
+    bus = TelemetryBus(clock=FakeClock())
+    bus.emit(RUN_STARTED, devices=8, shards=4, jobs=2)
+    bus.emit(SHARD_FINISHED, shard_index=0, events=50, devices=2)
+    bus.emit(WORKER_FAILURE, shard_index=1, error="boom")
+    bus.emit(SHARD_RETRIED, shard_index=1)
+    bus.emit(SHARD_FINISHED, shard_index=1, events=30, devices=2)
+    counters = bus.counters
+    assert counters.shards_total == 4
+    assert counters.shards_done == 2
+    assert counters.shards_pending == 2
+    assert counters.devices_done == 4
+    assert counters.events_processed == 80
+    assert counters.worker_failures == 1
+    assert counters.retries == 1
+
+
+def test_events_per_second_uses_injected_clock():
+    clock = FakeClock()
+    bus = TelemetryBus(clock=clock)
+    bus.emit(SHARD_FINISHED, shard_index=0, events=200)
+    clock.now += 4.0
+    assert bus.events_per_second() == 50.0
+    snapshot = bus.snapshot()
+    assert snapshot["events_processed"] == 200
+    assert snapshot["events_per_second"] == 50.0
+
+
+def test_subscribers_see_every_event_and_history_records_them():
+    bus = TelemetryBus(clock=FakeClock())
+    seen = []
+    bus.subscribe(seen.append)
+    bus.emit(RUN_STARTED, shards=1)
+    bus.emit(SHARD_FINISHED, shard_index=0, events=1)
+    assert [event.kind for event in seen] == [RUN_STARTED, SHARD_FINISHED]
+    assert bus.history == seen
+
+
+def test_progress_printer_renders_lifecycle_lines():
+    bus = TelemetryBus(clock=FakeClock())
+    out = io.StringIO()
+    bus.subscribe(progress_printer(out))
+    bus.emit(RUN_STARTED, devices=4, shards=2, jobs=2)
+    bus.emit(SHARD_FINISHED, shard_index=0, events=10, wall_s=0.5)
+    bus.emit(WORKER_FAILURE, shard_index=1, error="ValueError('x')")
+    bus.emit(SHARD_RETRIED, shard_index=1)
+    bus.emit(RUN_FINISHED, events=10, events_per_second=20.0)
+    text = out.getvalue()
+    assert "run started: 4 devices in 2 shards" in text
+    assert "shard 0 done (10 events" in text
+    assert "worker failure on shard 1" in text
+    assert "retrying shard 1" in text
+    assert "run finished: 10 events" in text
