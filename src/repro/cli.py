@@ -126,6 +126,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream shard progress to stderr (never part of the report)",
     )
 
+    lint = commands.add_parser(
+        "lint", help="run the repro static-analysis rule pack"
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is what CI consumes)",
+    )
+    lint.add_argument(
+        "--rules", default=None, metavar="ID[,ID...]",
+        help="run only these rule ids (default: all registered rules)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="accepted-findings file; findings it covers do not fail the run",
+    )
+    lint.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write the run's findings as a new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rule ids and exit",
+    )
+
     return parser
 
 
@@ -289,6 +317,38 @@ def _cmd_fleet(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    import os
+
+    from repro import lint
+    from repro.errors import LintError
+
+    if args.list_rules:
+        for rule_id in lint.iter_rule_ids():
+            print(f"{rule_id:20s} {lint.RULE_REGISTRY[rule_id].description}",
+                  file=out)
+        return 0
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    rule_ids = None
+    if args.rules:
+        rule_ids = [chunk.strip() for chunk in args.rules.split(",")
+                    if chunk.strip()]
+    try:
+        baseline = lint.load_baseline(args.baseline) if args.baseline else None
+        result = lint.lint_paths(paths, rule_ids=rule_ids, baseline=baseline)
+    except LintError as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        written = lint.write_baseline(args.write_baseline, result)
+        print(f"wrote {args.write_baseline}: {written} accepted finding keys",
+              file=out)
+        return 0
+    renderer = lint.render_json if args.format == "json" else lint.render_text
+    print(renderer(result), file=out)
+    return 0 if result.clean else 1
+
+
 def _cmd_ota_info(args, out) -> int:
     table = load_table(args.path)
     print(f"entries:  {table.entry_count}", file=out)
@@ -315,6 +375,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "summary": lambda: _cmd_summary(out),
         "federate": lambda: _cmd_federate(args, out),
         "fleet": lambda: _cmd_fleet(args, out),
+        "lint": lambda: _cmd_lint(args, out),
     }
     return handlers[args.command]()
 

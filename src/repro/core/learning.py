@@ -190,7 +190,7 @@ class ContinuousLearner:
             hits += 1
             predicted = {write.name: write.value for write in entry.writes}
             actual = {write.name: write.value for write in truth.writes}
-            for name in set(predicted) | set(actual):
+            for name in sorted(set(predicted) | set(actual)):
                 if predicted.get(name) != actual.get(name):
                     wrong_fields += 1
         hit_fraction = hits / events if events else 0.0

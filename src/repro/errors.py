@@ -89,6 +89,14 @@ class SchemeError(ReproError):
     """An optimization scheme was applied to an incompatible session."""
 
 
+class LintError(ReproError):
+    """The static-analysis pass was misconfigured or hit unreadable input."""
+
+
+class BaselineError(LintError):
+    """A lint baseline file is missing, corrupt, or the wrong version."""
+
+
 class FleetError(ReproError):
     """The fleet-simulation engine failed to plan or execute a run."""
 

@@ -11,7 +11,7 @@ between runs of the same spec.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 #: Event kinds the engine/executors emit.
@@ -60,7 +60,11 @@ class TelemetryBus:
         throughput math without sleeping.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+    # Wall-clock default is the point of the bus: throughput display is
+    # observability-only and excluded from the deterministic report.
+    def __init__(
+        self, clock: Callable[[], float] = time.monotonic  # lint: ignore[det-wallclock]
+    ) -> None:
         self._clock = clock
         self._start = clock()
         self._subscribers: List[Callable[[TelemetryEvent], None]] = []

@@ -1,0 +1,55 @@
+"""Rendering lint results: ``file:line`` text and machine-readable JSON.
+
+The JSON form is what CI consumes (stable key order, one object per
+finding); the text form is for humans at the terminal, with clickable
+``path:line:col`` locations.  Both render findings in the canonical
+``(path, line, column, rule)`` order so output is byte-stable across
+runs — the linter holds itself to the determinism bar it enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.runner import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.column + 1}: "
+            f"{finding.rule_id}: {finding.message}"
+        )
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    summary = (
+        f"{len(result.findings)} {noun} "
+        f"({result.files_checked} files, {result.suppressed} suppressed"
+    )
+    if result.baselined:
+        summary += f", {result.baselined} baselined"
+    lines.append(summary + ")")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """CI-facing JSON document; schema documented in docs/LINTING.md."""
+    payload = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column + 1,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

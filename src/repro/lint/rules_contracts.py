@@ -1,0 +1,224 @@
+"""Scheme/game contract-conformance rules.
+
+Two registration contracts hold the experiment drivers together:
+
+* every :class:`~repro.games.base.Game` subclass in ``games/`` must be
+  listed in ``games/registry.py`` — an unregistered game silently
+  vanishes from every figure sweep and from the CLI catalogue;
+* every :class:`~repro.schemes.base.Scheme` subclass must override the
+  base class's full abstract surface (the methods whose bodies raise
+  ``NotImplementedError``) and pick a concrete ``name`` — a missing
+  override only explodes when a sweep finally instantiates it.
+
+Both are cross-file properties, so these rules run at project scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.core import FileContext, Finding, Rule, register_rule
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _in_package(ctx: FileContext, package: str) -> bool:
+    """Whether a file lives in ``<package>/`` of the scanned tree."""
+    rel = ctx.rel_path.removeprefix("repro/")
+    return rel.startswith(f"{package}/")
+
+
+@register_rule
+class GameRegistryRule(Rule):
+    """Every ``Game`` subclass in ``games/`` must appear in the registry."""
+
+    id = "con-game-registry"
+    description = "Game subclass not registered in games/registry.py"
+    scope = "project"
+
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterator[Finding]:
+        registry_ctx = None
+        for ctx in contexts:
+            if ctx.rel_path.removeprefix("repro/") == "games/registry.py":
+                registry_ctx = ctx
+                break
+        if registry_ctx is None:
+            # Nothing to check against — partial scans (one module, a
+            # fixture snippet) should not drown in missing-registry noise.
+            return
+        registered = {
+            node.id
+            for node in ast.walk(registry_ctx.tree)
+            if isinstance(node, ast.Name)
+        } | set(registry_ctx.imports.members)
+        for ctx in sorted(contexts, key=lambda c: c.rel_path):
+            if not _in_package(ctx, "games"):
+                continue
+            basename = ctx.module_basename
+            if basename in ("registry.py", "base.py", "__init__.py"):
+                continue
+            for node in ctx.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if "Game" not in _base_names(node):
+                    continue
+                if node.name not in registered:
+                    yield Finding(
+                        rule_id=self.id,
+                        path=ctx.path,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        message=f"game class {node.name} is not registered "
+                        f"in games/registry.py; it will be missing from "
+                        f"every catalogue sweep",
+                    )
+
+
+@register_rule
+class SchemeContractRule(Rule):
+    """Scheme subclasses must override the whole abstract surface."""
+
+    id = "con-scheme-contract"
+    description = "Scheme subclass missing abstract overrides or a name"
+    scope = "project"
+
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterator[Finding]:
+        base_ctx = None
+        for ctx in contexts:
+            if ctx.rel_path.removeprefix("repro/") == "schemes/base.py":
+                base_ctx = ctx
+                break
+        if base_ctx is None:
+            return
+        base_class = self._find_class(base_ctx, "Scheme")
+        if base_class is None:
+            return
+        abstract = self._abstract_surface(base_class)
+        classes = self._package_classes(contexts, "schemes")
+        for class_name in sorted(classes):
+            ctx, node = classes[class_name]
+            if ctx is base_ctx or not self._derives_from_scheme(
+                class_name, classes
+            ):
+                continue
+            provided, names_name = self._chain_surface(class_name, classes)
+            for method in sorted(abstract - provided):
+                yield Finding(
+                    rule_id=self.id,
+                    path=ctx.path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    message=f"scheme {class_name} does not override "
+                    f"abstract method {method}() from schemes/base.py",
+                )
+            if not names_name:
+                yield Finding(
+                    rule_id=self.id,
+                    path=ctx.path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    message=f"scheme {class_name} never sets the `name` "
+                    f"class attribute; reports would label it 'abstract'",
+                )
+
+    @staticmethod
+    def _find_class(ctx: FileContext, name: str) -> Optional[ast.ClassDef]:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return node
+        return None
+
+    @staticmethod
+    def _abstract_surface(base_class: ast.ClassDef) -> Set[str]:
+        """Methods of the base whose bodies raise ``NotImplementedError``."""
+        surface = set()
+        for stmt in base_class.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(stmt):
+                if not isinstance(inner, ast.Raise) or inner.exc is None:
+                    continue
+                exc = inner.exc
+                if isinstance(exc, ast.Call):
+                    exc = exc.func
+                if isinstance(exc, ast.Name) and exc.id == "NotImplementedError":
+                    surface.add(stmt.name)
+        return surface
+
+    @staticmethod
+    def _package_classes(
+        contexts: Sequence[FileContext], package: str
+    ) -> Dict[str, Tuple[FileContext, ast.ClassDef]]:
+        classes: Dict[str, Tuple[FileContext, ast.ClassDef]] = {}
+        for ctx in sorted(contexts, key=lambda c: c.rel_path):
+            if not _in_package(ctx, package):
+                continue
+            for node in ctx.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    classes.setdefault(node.name, (ctx, node))
+        return classes
+
+    @classmethod
+    def _derives_from_scheme(
+        cls,
+        class_name: str,
+        classes: Dict[str, Tuple[FileContext, ast.ClassDef]],
+        _seen: Optional[Set[str]] = None,
+    ) -> bool:
+        seen = _seen or set()
+        if class_name in seen:
+            return False
+        seen.add(class_name)
+        _, node = classes[class_name]
+        for base in _base_names(node):
+            if base == "Scheme":
+                return True
+            if base in classes and cls._derives_from_scheme(base, classes, seen):
+                return True
+        return False
+
+    @classmethod
+    def _chain_surface(
+        cls,
+        class_name: str,
+        classes: Dict[str, Tuple[FileContext, ast.ClassDef]],
+    ) -> Tuple[Set[str], bool]:
+        """(methods defined, `name` set) along the chain below Scheme."""
+        provided: Set[str] = set()
+        has_name = False
+        stack, seen = [class_name], set()
+        while stack:
+            current = stack.pop()
+            if current in seen or current == "Scheme" or current not in classes:
+                continue
+            seen.add(current)
+            _, node = classes[current]
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    provided.add(stmt.name)
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) and target.id == "name":
+                            has_name = True
+                elif (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "name"
+                    and stmt.value is not None
+                ):
+                    has_name = True
+            stack.extend(_base_names(node))
+        return provided, has_name

@@ -1,0 +1,192 @@
+"""Determinism rules: the fleet engine's byte-identical-report contract.
+
+``repro.fleet`` promises that the aggregate report of a fleet run is
+identical across ``--jobs`` settings and shard sizes.  Anything that
+reads ambient machine state — the wall clock, the process environment,
+an unseeded global RNG, or hash-randomised ``set`` iteration order —
+can leak into an aggregate and break that promise on exactly the runs
+the determinism tests do not cover.  These rules make the hazards
+structural: they flag the *pattern*, not the bug it eventually causes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import FileContext, Finding, Rule, register_rule
+
+#: Wall-clock reads; referencing one (not just calling it) is flagged,
+#: because passing ``time.monotonic`` as a default argument smuggles the
+#: clock just as effectively as calling it.
+_WALLCLOCK_ORIGINS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Constructors on the ``random`` / ``numpy.random`` modules that take an
+#: explicit seed and therefore stay reproducible.
+_SEEDED_RANDOM_OK = frozenset({
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+})
+
+_ENV_ORIGINS = frozenset({"os.environ", "os.getenv", "os.environb"})
+
+
+def _is_set_producing(node: ast.expr) -> bool:
+    """Whether an expression syntactically yields a ``set``.
+
+    Recognises set displays, set comprehensions, ``set(...)`` /
+    ``frozenset(...)`` calls, and binary set algebra (``|  & - ^``)
+    where either operand is itself set-producing.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_producing(node.left) or _is_set_producing(node.right)
+    return False
+
+
+@register_rule
+class WallClockRule(Rule):
+    """No wall-clock reads inside ``src/repro``.
+
+    Simulated time lives on the SoC (``soc.advance_time``); a real
+    clock read in library code either skews an aggregate or hides a
+    dependency on host speed.  Telemetry display is the one legitimate
+    use — suppress those sites with a justification comment.
+    """
+
+    id = "det-wallclock"
+    description = "wall-clock read (time.*/datetime.now) in library code"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            # Only flag the outermost match: for `time.monotonic()` the
+            # walk also visits the inner Name("time"), which resolves to
+            # just "time" and is not in the origin set.
+            origin = ctx.imports.resolve(node)
+            if origin in _WALLCLOCK_ORIGINS:
+                yield Finding(
+                    rule_id=self.id,
+                    path=ctx.path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    message=f"wall-clock read of {origin}",
+                )
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    """No unseeded global-RNG calls (``random.*``, ``numpy.random.*``).
+
+    The global RNGs are process-wide mutable state: results depend on
+    import order and on how many draws other code made first, which is
+    exactly what varies between ``--jobs 1`` and ``--jobs 4``.  Seeded
+    generator objects (``random.Random(seed)``,
+    ``numpy.random.default_rng(seed)``) are the sanctioned alternative.
+    """
+
+    id = "det-unseeded-random"
+    description = "module-level random.* / numpy.random.* call"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = ctx.imports.resolve(node.func)
+            if origin is None:
+                continue
+            if origin in _SEEDED_RANDOM_OK:
+                continue
+            if origin.startswith("random.") or origin.startswith("numpy.random."):
+                yield Finding(
+                    rule_id=self.id,
+                    path=ctx.path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    message=f"call of global-RNG function {origin}",
+                )
+
+
+@register_rule
+class EnvReadRule(Rule):
+    """Environment reads only in the CLI layer.
+
+    ``os.environ`` is per-host configuration; reading it deep in the
+    library makes two machines disagree on the same spec.  The CLI may
+    translate environment into explicit arguments — nothing else may.
+    """
+
+    id = "det-env-read"
+    description = "os.environ / os.getenv read outside the CLI layer"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module_basename in self.config.env_allowed_basenames:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            origin = ctx.imports.resolve(node)
+            if origin in _ENV_ORIGINS:
+                yield Finding(
+                    rule_id=self.id,
+                    path=ctx.path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    message=f"environment read via {origin}",
+                )
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """Iteration over a set must go through ``sorted(...)``.
+
+    Set iteration order depends on string hash randomisation
+    (``PYTHONHASHSEED``), so a loop over ``set(a) | set(b)`` visits
+    elements in a different order in every worker process.  Counting
+    survives that; float accumulation, first-wins merges, and rendered
+    output do not.  Wrapping in ``sorted`` is cheap and makes the order
+    canonical (see ``fleet/reducers.py`` for the idiom).
+    """
+
+    id = "det-set-iter"
+    description = "iteration over an unsorted set expression"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iter_expr: Optional[ast.expr] = None
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_expr = node.iter
+            elif isinstance(node, ast.comprehension):
+                iter_expr = node.iter
+            if iter_expr is not None and _is_set_producing(iter_expr):
+                yield Finding(
+                    rule_id=self.id,
+                    path=ctx.path,
+                    line=iter_expr.lineno,
+                    column=iter_expr.col_offset,
+                    message="iteration over a set without sorted(...); "
+                    "order varies with PYTHONHASHSEED",
+                )

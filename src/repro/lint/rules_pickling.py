@@ -1,0 +1,267 @@
+"""Pickling-safety rules for fleet process-boundary payloads.
+
+:class:`~repro.fleet.executors.ProcessFleetExecutor` ships
+:class:`~repro.fleet.work.ShardTask` out and
+:class:`~repro.fleet.work.ShardResult` back via ``pickle``.  A lambda,
+a locally-defined function, or an open OS handle stored on any class
+reachable from those payloads turns into a runtime ``PicklingError`` —
+but only on ``--jobs > 1`` runs, which is why a static trace is worth
+having.  This rule rebuilds the payload closure the way a reviewer
+would: start at the configured root classes, follow the dataclass
+field annotations through the import graph, and audit every class the
+payload can transitively hold.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.core import FileContext, Finding, Rule, register_rule
+
+#: Constructors whose results hold OS or thread state that ``pickle``
+#: rejects (or silently resurrects wrongly) across a process boundary.
+_HANDLE_ORIGINS = frozenset({
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Event",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "socket.socket",
+})
+
+_STREAM_ORIGINS = frozenset({"sys.stdout", "sys.stderr", "sys.stdin"})
+
+
+def _dotted_module(rel_path: str) -> str:
+    """``fleet/work.py`` -> ``fleet.work`` (posix rel path assumed)."""
+    return rel_path[: -len(".py")].replace("/", ".")
+
+
+class _ModuleIndex:
+    """Resolves dotted module paths to parsed file contexts.
+
+    Registered under both the scan-relative dotted name and its
+    ``repro.``-prefixed form, so the trace works whether the linter was
+    pointed at ``src``, ``src/repro``, or a test fixture tree that
+    mimics the package layout without the top-level package directory.
+    """
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        self._by_module: Dict[str, FileContext] = {}
+        for ctx in contexts:
+            if not ctx.rel_path.endswith(".py"):
+                continue
+            dotted = _dotted_module(ctx.rel_path)
+            self._by_module.setdefault(dotted, ctx)
+            if not dotted.startswith("repro."):
+                self._by_module.setdefault(f"repro.{dotted}", ctx)
+
+    def lookup(self, module: str) -> Optional[FileContext]:
+        ctx = self._by_module.get(module)
+        if ctx is None and module.startswith("repro."):
+            ctx = self._by_module.get(module[len("repro."):])
+        return ctx
+
+
+def _class_defs(ctx: FileContext) -> Dict[str, ast.ClassDef]:
+    return {
+        node.name: node
+        for node in ctx.tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+def _annotation_type_names(node: ast.expr) -> List[str]:
+    """Candidate class names referenced by a field annotation.
+
+    Handles quoted forward references (``"SnipTable"``) by re-parsing
+    the string.  Typing scaffolding (``Optional``, ``List``, builtins)
+    comes along for the ride and simply fails to resolve to a module.
+    """
+    names: List[str] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.append(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.append(child.attr)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            try:
+                quoted = ast.parse(child.value, mode="eval")
+            except SyntaxError:
+                continue
+            names.extend(_annotation_type_names(quoted.body))
+    return names
+
+
+def _lambda_findings(
+    value: ast.expr, ctx: FileContext, class_name: str, where: str
+) -> Iterator[Finding]:
+    """Findings for lambdas stored (not merely used) in ``value``.
+
+    A ``field(default_factory=lambda: ...)`` is exempt: the factory
+    runs at ``__init__`` time and only its *result* lands on the
+    instance, so the payload still pickles.
+    """
+    skip: Set[int] = set()
+    for child in ast.walk(value):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Name)
+            and child.func.id == "field"
+        ):
+            for keyword in child.keywords:
+                if keyword.arg == "default_factory":
+                    skip.update(id(n) for n in ast.walk(keyword.value))
+    for child in ast.walk(value):
+        if isinstance(child, ast.Lambda) and id(child) not in skip:
+            yield Finding(
+                rule_id="pck-lambda",
+                path=ctx.path,
+                line=child.lineno,
+                column=child.col_offset,
+                message=f"class {class_name} stores a lambda {where}; "
+                f"lambdas cannot cross the worker-process pickle boundary",
+            )
+
+
+def _handle_findings(
+    value: ast.expr, ctx: FileContext, class_name: str, where: str
+) -> Iterator[Finding]:
+    for child in ast.walk(value):
+        origin = None
+        if isinstance(child, ast.Call):
+            if isinstance(child.func, ast.Name) and child.func.id == "open":
+                origin = "open(...)"
+            else:
+                resolved = ctx.imports.resolve(child.func)
+                if resolved in _HANDLE_ORIGINS:
+                    origin = resolved
+        elif isinstance(child, (ast.Attribute, ast.Name)):
+            resolved = ctx.imports.resolve(child)
+            if resolved in _STREAM_ORIGINS:
+                origin = resolved
+        if origin:
+            yield Finding(
+                rule_id="pck-handle",
+                path=ctx.path,
+                line=child.lineno,
+                column=child.col_offset,
+                message=f"class {class_name} stores {origin} {where}; "
+                f"OS handles cannot cross the worker-process pickle boundary",
+            )
+
+
+def _audit_class(
+    node: ast.ClassDef, ctx: FileContext
+) -> Iterator[Finding]:
+    """Check one payload class for unpicklable stored state."""
+    for stmt in node.body:
+        value = None
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            value = stmt.value
+        if value is not None:
+            yield from _lambda_findings(value, ctx, node.name, "as a field default")
+            yield from _handle_findings(value, ctx, node.name, "as a field default")
+    for stmt in node.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        local_defs = {
+            inner.name
+            for inner in ast.walk(stmt)
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and inner is not stmt
+        }
+        for inner in ast.walk(stmt):
+            targets: List[ast.expr] = []
+            value = None
+            if isinstance(inner, ast.Assign):
+                targets, value = inner.targets, inner.value
+            elif isinstance(inner, ast.AnnAssign) and inner.value is not None:
+                targets, value = [inner.target], inner.value
+            if value is None or not any(
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+                for t in targets
+            ):
+                continue
+            where = "on an instance attribute"
+            yield from _lambda_findings(value, ctx, node.name, where)
+            yield from _handle_findings(value, ctx, node.name, where)
+            if isinstance(value, ast.Name) and value.id in local_defs:
+                yield Finding(
+                    rule_id="pck-lambda",
+                    path=ctx.path,
+                    line=value.lineno,
+                    column=value.col_offset,
+                    message=f"class {node.name} stores locally-defined "
+                    f"function {value.id!r} on an instance attribute; local "
+                    f"functions cannot cross the worker-process pickle "
+                    f"boundary",
+                )
+
+
+@register_rule
+class PicklingSafetyRule(Rule):
+    """Trace fleet payload types and audit every reachable class."""
+
+    id = "pck-payload"
+    description = "unpicklable state reachable from fleet payload classes"
+    scope = "project"
+
+    #: The sub-rule ids this project rule emits under (suppression and
+    #: ``--rules`` filtering treat them as children of ``pck-payload``).
+    emits = ("pck-lambda", "pck-handle")
+
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterator[Finding]:
+        index = _ModuleIndex(contexts)
+        queue: List[Tuple[FileContext, ast.ClassDef]] = []
+        for root in self.config.pickle_roots:
+            rel_suffix, _, class_name = root.partition("::")
+            rel_suffix = rel_suffix.removeprefix("repro/")
+            for ctx in contexts:
+                if ctx.rel_path.removeprefix("repro/") != rel_suffix:
+                    continue
+                node = _class_defs(ctx).get(class_name)
+                if node is not None:
+                    queue.append((ctx, node))
+        visited: Set[Tuple[str, str]] = set()
+        while queue:
+            ctx, node = queue.pop()
+            key = (ctx.rel_path, node.name)
+            if key in visited:
+                continue
+            visited.add(key)
+            yield from _audit_class(node, ctx)
+            queue.extend(self._referenced_classes(node, ctx, index))
+
+    def _referenced_classes(
+        self, node: ast.ClassDef, ctx: FileContext, index: _ModuleIndex
+    ) -> List[Tuple[FileContext, ast.ClassDef]]:
+        """Classes the payload's field annotations reach."""
+        local = _class_defs(ctx)
+        out: List[Tuple[FileContext, ast.ClassDef]] = []
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            for name in _annotation_type_names(stmt.annotation):
+                if name in local:
+                    out.append((ctx, local[name]))
+                    continue
+                member = ctx.imports.members.get(name)
+                if member is None:
+                    continue
+                module, original = member
+                target_ctx = index.lookup(module)
+                if target_ctx is None:
+                    continue
+                target = _class_defs(target_ctx).get(original)
+                if target is not None:
+                    out.append((target_ctx, target))
+        return out

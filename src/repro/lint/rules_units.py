@@ -1,0 +1,100 @@
+"""Units-hygiene rule: additive arithmetic must not mix unit suffixes.
+
+``repro.units`` keeps raw quantities as plain floats, so the type
+system cannot catch ``battery_mah + draw_mw``.  The codebase's naming
+convention — a trailing ``_mj`` / ``_mw`` / ``_mah`` / ``_s`` on
+identifiers — carries the unit instead, and this rule enforces the one
+algebraic fact the convention supports: adding, subtracting, or
+comparing two identifiers with *different* known unit suffixes is
+almost certainly a physics bug.  Multiplication and division are
+untouched (they legitimately build new units, e.g. watts × seconds).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.core import FileContext, Finding, Rule, register_rule
+
+
+def _suffix_unit(identifier: str, suffixes) -> Optional[Tuple[str, str]]:
+    """``(suffix, canonical_unit)`` of an identifier, or ``None``."""
+    _, _, tail = identifier.rpartition("_")
+    if tail and "_" in identifier:
+        unit = suffixes.get(tail)
+        if unit is not None:
+            return tail, unit
+    return None
+
+
+def _operand_unit(node: ast.expr, suffixes) -> Optional[Tuple[str, str, str]]:
+    """``(identifier, suffix, unit)`` when an operand names a quantity.
+
+    Only bare names and attribute accesses participate — a call result
+    or subscript has no inspectable identifier, so it never votes.
+    """
+    if isinstance(node, ast.Name):
+        identifier = node.id
+    elif isinstance(node, ast.Attribute):
+        identifier = node.attr
+    elif isinstance(node, ast.UnaryOp):
+        return _operand_unit(node.operand, suffixes)
+    else:
+        return None
+    found = _suffix_unit(identifier, suffixes)
+    if found is None:
+        return None
+    return (identifier, found[0], found[1])
+
+
+@register_rule
+class MixedUnitsRule(Rule):
+    """Flag ``a_mj + b_mw``-style additive mixing of unit suffixes."""
+
+    id = "unt-mixed-units"
+    description = "additive arithmetic mixing different unit suffixes"
+
+    def _pairwise(
+        self, operands: List[ast.expr], anchor: ast.expr, verb: str, ctx: FileContext
+    ) -> Iterator[Finding]:
+        units = [
+            found
+            for found in (
+                _operand_unit(op, self.config.unit_suffixes) for op in operands
+            )
+            if found is not None
+        ]
+        for index in range(1, len(units)):
+            left, right = units[index - 1], units[index]
+            if left[2] != right[2]:
+                yield Finding(
+                    rule_id=self.id,
+                    path=ctx.path,
+                    line=anchor.lineno,
+                    column=anchor.col_offset,
+                    message=f"{verb} mixes units: {left[0]} is in "
+                    f"{left[2]}s but {right[0]} is in {right[2]}s",
+                )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._pairwise(
+                    [node.left, node.right], node, "addition", ctx
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._pairwise(
+                    [node.target, node.value], node, "augmented addition", ctx
+                )
+            elif isinstance(node, ast.Compare) and all(
+                isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                for op in node.ops
+            ):
+                yield from self._pairwise(
+                    [node.left] + list(node.comparators), node, "comparison", ctx
+                )

@@ -1,0 +1,194 @@
+"""Driving the rule packs over a source tree.
+
+:func:`lint_paths` is the single entry point the CLI and the tests
+share: collect ``.py`` files (sorted, so reports are byte-stable),
+parse each once, run every selected file-scope rule per file and every
+project-scope rule once, apply suppression comments, then subtract the
+optional baseline.  Parse failures become findings (rule
+``parse-error``) rather than crashes — a file the linter cannot read
+is a finding in itself, and CI should say so with a location.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import BaselineError, LintError
+from repro.lint.core import (
+    FileContext,
+    Finding,
+    LintConfig,
+    RULE_REGISTRY,
+    Rule,
+)
+
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: Findings silenced by ``# lint: ignore`` comments.
+    suppressed: int = 0
+    #: Findings present in, and absorbed by, the ``--baseline`` file.
+    baselined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run should exit 0."""
+        return not self.findings
+
+
+def collect_files(paths: Sequence[str]) -> List[Tuple[str, str]]:
+    """``(path, rel_path)`` for every ``.py`` under ``paths``, sorted.
+
+    ``rel_path`` is posix-style and relative to the scanned root the
+    file came from — the identity rules use for layout checks ("is
+    this ``games/registry.py``"), independent of where the scan root
+    itself lives.
+    """
+    out: List[Tuple[str, str]] = []
+    for root in paths:
+        if os.path.isfile(root):
+            if root.endswith(".py"):
+                out.append((root, os.path.basename(root)))
+            continue
+        if not os.path.isdir(root):
+            raise LintError(f"no such file or directory: {root}")
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                name for name in dirnames if name != "__pycache__"
+            )
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, root).replace(os.sep, "/")
+                out.append((full, rel))
+    return sorted(out)
+
+
+def select_rules(
+    config: LintConfig, rule_ids: Optional[Iterable[str]] = None
+) -> List[Rule]:
+    """Instantiate the requested rules (all registered ones by default)."""
+    if rule_ids is None:
+        chosen = sorted(RULE_REGISTRY)
+    else:
+        chosen = sorted(set(rule_ids))
+        unknown = [rule_id for rule_id in chosen if rule_id not in RULE_REGISTRY]
+        if unknown:
+            raise LintError(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(RULE_REGISTRY))}"
+            )
+    return [RULE_REGISTRY[rule_id](config) for rule_id in chosen]
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    rule_ids: Optional[Iterable[str]] = None,
+    baseline: Optional[Dict[str, int]] = None,
+) -> LintResult:
+    """Run the rule pack over ``paths`` and return the report."""
+    config = config or LintConfig()
+    rules = select_rules(config, rule_ids)
+    result = LintResult()
+    contexts: List[FileContext] = []
+    raw: List[Finding] = []
+    for path, rel_path in collect_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            ctx = FileContext.parse(path, source, rel_path)
+        except LintError as exc:
+            raw.append(Finding(
+                rule_id=PARSE_ERROR_RULE,
+                path=path,
+                line=1,
+                column=0,
+                message=str(exc),
+            ))
+            continue
+        contexts.append(ctx)
+    result.files_checked = len(contexts)
+    for ctx in contexts:
+        for rule in rules:
+            if rule.scope == "file":
+                raw.extend(rule.check(ctx))
+    for rule in rules:
+        if rule.scope == "project":
+            raw.extend(rule.check_project(contexts))
+    by_path = {ctx.path: ctx for ctx in contexts}
+    visible: List[Finding] = []
+    for finding in raw:
+        ctx = by_path.get(finding.path)
+        if ctx is not None and ctx.suppressions.covers(
+            finding.rule_id, finding.line
+        ):
+            result.suppressed += 1
+            continue
+        visible.append(finding)
+    if baseline:
+        remaining = dict(baseline)
+        unbaselined = []
+        for finding in visible:
+            if remaining.get(finding.baseline_key, 0) > 0:
+                remaining[finding.baseline_key] -= 1
+                result.baselined += 1
+            else:
+                unbaselined.append(finding)
+        visible = unbaselined
+    result.findings = sorted(visible, key=Finding.sort_key)
+    return result
+
+
+# -- baseline files --------------------------------------------------------
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Read a baseline file into a ``key -> allowed count`` map."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        raise BaselineError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("version") != 1:
+        raise BaselineError(
+            f"baseline file {path} is not a version-1 lint baseline"
+        )
+    counts = document.get("findings")
+    if not isinstance(counts, dict) or not all(
+        isinstance(key, str) and isinstance(value, int)
+        for key, value in counts.items()
+    ):
+        raise BaselineError(
+            f"baseline file {path}: 'findings' must map keys to counts"
+        )
+    return dict(counts)
+
+
+def write_baseline(path: str, result: LintResult) -> int:
+    """Persist the run's findings as the accepted baseline.
+
+    Returns the number of distinct baseline keys written.  Keys omit
+    line numbers (see :attr:`Finding.baseline_key`) so edits elsewhere
+    in a file do not invalidate accepted findings.
+    """
+    counts: Dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.baseline_key] = counts.get(finding.baseline_key, 0) + 1
+    document = {"version": 1, "findings": dict(sorted(counts.items()))}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(counts)

@@ -44,7 +44,7 @@ def classify_erroneous_execution(
     predicted_map = {write.name: write.value for write in predicted}
     actual_map = {write.name: write.value for write in actual}
     mismatched_names = set()
-    for name in set(predicted_map) | set(actual_map):
+    for name in sorted(set(predicted_map) | set(actual_map)):
         if predicted_map.get(name) != actual_map.get(name):
             mismatched_names.add(name)
     if not mismatched_names:

@@ -73,7 +73,9 @@ class Dataset:
         """Original label object for a dense class index."""
         return self.classes[index]
 
-    def split(self, train_fraction: float, rng: np.random.Generator) -> Tuple["Dataset", "Dataset"]:
+    def split(
+        self, train_fraction: float, rng: np.random.Generator
+    ) -> Tuple["Dataset", "Dataset"]:
         """Random train/test row split (labels re-share the class map)."""
         if not 0.0 < train_fraction < 1.0:
             raise DatasetError(f"train_fraction out of (0,1): {train_fraction}")

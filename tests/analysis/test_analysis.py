@@ -10,7 +10,6 @@ from repro.analysis.fig6_table_size import run_fig6
 from repro.analysis.fig7_io_characteristics import run_fig7
 from repro.analysis.fig8_event_only import run_fig8
 from repro.analysis.report import pct, render_table
-from repro.analysis.table1_optimization_scope import run_table1
 from repro.games.registry import GAME_NAMES
 
 SHORT = 20.0

@@ -3,9 +3,8 @@
 import pytest
 
 from repro.android.events import EventType
-from repro.core.config import SnipConfig
 from repro.core.overrides import DeveloperOverrides
-from repro.core.pfi import build_event_profiles, run_pfi
+from repro.core.pfi import build_event_profiles
 from repro.core.selection import (
     gated_table_stats,
     select_necessary_inputs,

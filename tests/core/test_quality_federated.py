@@ -16,7 +16,7 @@ from repro.games.base import FieldWrite, OutputCategory
 from repro.games.registry import GAME_CONTENT_SEED, create_game
 from repro.soc.soc import snapdragon_821
 from repro.users.population import Population
-from repro.users.tracegen import generate_events, generate_trace
+from repro.users.tracegen import generate_events
 
 
 def _runtime(table, config=None):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import SnipConfig
 from repro.core.quality import QualityController
 from repro.core.runtime import SnipRuntime
 from repro.games.registry import GAME_CONTENT_SEED, create_game

@@ -6,8 +6,6 @@ board, complete a lap, empty a clip) and check the cross-event
 invariants the memoization machinery silently depends on.
 """
 
-import pytest
-
 from repro.android.events import (
     make_camera_frame,
     make_frame_tick,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.android.events import (
-    EventType,
     make_camera_frame,
     make_frame_tick,
     make_gyro,

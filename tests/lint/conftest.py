@@ -1,0 +1,53 @@
+"""Helpers for the lint-rule tests.
+
+Every rule test follows the same shape: write a fixture snippet (or a
+small fixture tree for project-scope rules), run a narrowed rule pack
+over it, and assert on the resulting rule ids.  ``lint_snippet`` and
+``lint_tree`` keep that one line long.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict, Optional, Sequence
+
+import pytest
+
+from repro.lint import LintResult, lint_paths
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Lint one dedented source snippet; returns the LintResult."""
+
+    def _lint(
+        source: str,
+        rules: Optional[Sequence[str]] = None,
+        filename: str = "snippet.py",
+    ) -> LintResult:
+        path = tmp_path / filename
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return lint_paths([str(path)], rule_ids=rules)
+
+    return _lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Lint a fixture tree given as ``rel_path -> source`` mapping."""
+
+    def _lint(
+        files: Dict[str, str], rules: Optional[Sequence[str]] = None
+    ) -> LintResult:
+        for rel_path, source in files.items():
+            path = tmp_path / rel_path
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return lint_paths([str(tmp_path)], rule_ids=rules)
+
+    return _lint
+
+
+def rule_ids(result: LintResult):
+    """Sorted rule ids of the result's findings."""
+    return sorted(finding.rule_id for finding in result.findings)

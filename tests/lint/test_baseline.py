@@ -1,0 +1,105 @@
+"""Baseline files: accepted findings pass, new findings still fail."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import BaselineError
+from repro.lint import lint_paths, load_baseline, write_baseline
+
+from tests.lint.conftest import rule_ids
+
+DIRTY = """
+import time
+
+def stamp():
+    return time.time()
+"""
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return str(path)
+
+
+def test_baseline_roundtrip_absorbs_accepted_findings(tmp_path):
+    target = _write(tmp_path, "dirty.py", DIRTY)
+    first = lint_paths([target], rule_ids=["det-wallclock"])
+    assert len(first.findings) == 1
+
+    baseline_path = str(tmp_path / "baseline.json")
+    write_baseline(baseline_path, first)
+    second = lint_paths(
+        [target],
+        rule_ids=["det-wallclock"],
+        baseline=load_baseline(baseline_path),
+    )
+    assert second.clean
+    assert second.baselined == 1
+
+
+def test_new_finding_is_not_absorbed_by_baseline(tmp_path):
+    target = _write(tmp_path, "dirty.py", DIRTY)
+    baseline_path = str(tmp_path / "baseline.json")
+    write_baseline(
+        baseline_path, lint_paths([target], rule_ids=["det-wallclock"])
+    )
+    _write(
+        tmp_path,
+        "dirty.py",
+        DIRTY + "\ndef later():\n    return time.monotonic()\n",
+    )
+    result = lint_paths(
+        [target],
+        rule_ids=["det-wallclock"],
+        baseline=load_baseline(baseline_path),
+    )
+    assert rule_ids(result) == ["det-wallclock"]
+    assert "time.monotonic" in result.findings[0].message
+    assert result.baselined == 1
+
+
+def test_baseline_keys_survive_line_shifts(tmp_path):
+    target = _write(tmp_path, "dirty.py", DIRTY)
+    baseline_path = str(tmp_path / "baseline.json")
+    write_baseline(
+        baseline_path, lint_paths([target], rule_ids=["det-wallclock"])
+    )
+    # Push the finding several lines down; the key has no line number.
+    _write(tmp_path, "dirty.py", "\n# comment\n# comment\n" + DIRTY)
+    result = lint_paths(
+        [target],
+        rule_ids=["det-wallclock"],
+        baseline=load_baseline(baseline_path),
+    )
+    assert result.clean
+
+
+def test_load_baseline_rejects_missing_and_corrupt_files(tmp_path):
+    with pytest.raises(BaselineError):
+        load_baseline(str(tmp_path / "absent.json"))
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json", encoding="utf-8")
+    with pytest.raises(BaselineError):
+        load_baseline(str(bad))
+    wrong_version = tmp_path / "wrong.json"
+    wrong_version.write_text(json.dumps({"version": 2, "findings": {}}))
+    with pytest.raises(BaselineError):
+        load_baseline(str(wrong_version))
+
+
+def test_written_baseline_is_sorted_json(tmp_path):
+    target = _write(tmp_path, "dirty.py", DIRTY)
+    baseline_path = str(tmp_path / "baseline.json")
+    write_baseline(
+        baseline_path, lint_paths([target], rule_ids=["det-wallclock"])
+    )
+    document = json.loads((tmp_path / "baseline.json").read_text())
+    assert document["version"] == 1
+    keys = list(document["findings"])
+    assert keys == sorted(keys)
+    assert all(count >= 1 for count in document["findings"].values())

@@ -1,0 +1,181 @@
+"""Game-registry and scheme-contract conformance rules."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+GAME_RULES = ["con-game-registry"]
+SCHEME_RULES = ["con-scheme-contract"]
+
+SCHEME_BASE = """
+    class Scheme:
+        name = "abstract"
+
+        def prepare(self, game_name):
+            pass
+
+        def make_runner(self, soc, game):
+            raise NotImplementedError
+"""
+
+
+class TestGameRegistry:
+    def test_registered_game_is_clean(self, lint_tree):
+        result = lint_tree(
+            {
+                "games/registry.py": """
+                    from repro.games.colorphun import Colorphun
+
+                    CATALOGUE = (Colorphun,)
+                """,
+                "games/colorphun.py": """
+                    class Colorphun(Game):
+                        pass
+                """,
+            },
+            rules=GAME_RULES,
+        )
+        assert result.findings == []
+
+    def test_unregistered_game_is_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "games/registry.py": """
+                    from repro.games.colorphun import Colorphun
+
+                    CATALOGUE = (Colorphun,)
+                """,
+                "games/colorphun.py": """
+                    class Colorphun(Game):
+                        pass
+                """,
+                "games/rogue.py": """
+                    class RogueGame(Game):
+                        pass
+                """,
+            },
+            rules=GAME_RULES,
+        )
+        assert rule_ids(result) == ["con-game-registry"]
+        assert "RogueGame" in result.findings[0].message
+
+    def test_helper_classes_without_game_base_are_ignored(self, lint_tree):
+        result = lint_tree(
+            {
+                "games/registry.py": """
+                    CATALOGUE = ()
+                """,
+                "games/common.py": """
+                    class GestureMixer:
+                        pass
+                """,
+            },
+            rules=GAME_RULES,
+        )
+        assert result.findings == []
+
+    def test_missing_registry_disables_rule(self, lint_tree):
+        # Partial scans (one module, fixtures) must not drown in noise.
+        result = lint_tree(
+            {
+                "games/rogue.py": """
+                    class RogueGame(Game):
+                        pass
+                """,
+            },
+            rules=GAME_RULES,
+        )
+        assert result.findings == []
+
+
+class TestSchemeContract:
+    def test_full_override_is_clean(self, lint_tree):
+        result = lint_tree(
+            {
+                "schemes/base.py": SCHEME_BASE,
+                "schemes/good.py": """
+                    from repro.schemes.base import Scheme
+
+                    class GoodScheme(Scheme):
+                        name = "good"
+
+                        def make_runner(self, soc, game):
+                            return object()
+                """,
+            },
+            rules=SCHEME_RULES,
+        )
+        assert result.findings == []
+
+    def test_missing_abstract_override_is_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "schemes/base.py": SCHEME_BASE,
+                "schemes/bad.py": """
+                    from repro.schemes.base import Scheme
+
+                    class BadScheme(Scheme):
+                        name = "bad"
+
+                        def prepare(self, game_name):
+                            pass
+                """,
+            },
+            rules=SCHEME_RULES,
+        )
+        assert rule_ids(result) == ["con-scheme-contract"]
+        assert "make_runner" in result.findings[0].message
+
+    def test_missing_name_is_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "schemes/base.py": SCHEME_BASE,
+                "schemes/anon.py": """
+                    from repro.schemes.base import Scheme
+
+                    class AnonScheme(Scheme):
+                        def make_runner(self, soc, game):
+                            return object()
+                """,
+            },
+            rules=SCHEME_RULES,
+        )
+        assert rule_ids(result) == ["con-scheme-contract"]
+        assert "name" in result.findings[0].message
+
+    def test_inherited_override_through_subclass_chain_is_clean(self, lint_tree):
+        result = lint_tree(
+            {
+                "schemes/base.py": SCHEME_BASE,
+                "schemes/good.py": """
+                    from repro.schemes.base import Scheme
+
+                    class GoodScheme(Scheme):
+                        name = "good"
+
+                        def make_runner(self, soc, game):
+                            return object()
+                """,
+                "schemes/derived.py": """
+                    from repro.schemes.good import GoodScheme
+
+                    class DerivedScheme(GoodScheme):
+                        name = "derived"
+                """,
+            },
+            rules=SCHEME_RULES,
+        )
+        assert result.findings == []
+
+    def test_runner_helpers_outside_hierarchy_are_ignored(self, lint_tree):
+        result = lint_tree(
+            {
+                "schemes/base.py": SCHEME_BASE,
+                "schemes/helper.py": """
+                    class _Runner:
+                        pass
+                """,
+            },
+            rules=SCHEME_RULES,
+        )
+        assert result.findings == []

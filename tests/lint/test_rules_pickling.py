@@ -1,0 +1,197 @@
+"""Pickling-safety rule: payload tracing across a fixture fleet tree."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+PCK = ["pck-payload"]
+
+#: A minimal tree mimicking the package layout the tracer expects:
+#: the roots live in fleet/work.py and annotations resolve through
+#: ``repro.``-prefixed imports exactly as in the real tree.
+WORK_MODULE = """
+    from dataclasses import dataclass, field
+    from typing import Optional
+
+    from repro.core.table import SnipTable
+
+    @dataclass
+    class ShardTask:
+        shard_index: int
+        table: SnipTable
+
+    @dataclass
+    class ShardResult:
+        shard_index: int
+        device: Optional["DeviceResult"] = None
+
+    @dataclass
+    class DeviceResult:
+        device_id: int
+"""
+
+
+def test_clean_payload_tree_has_no_findings(lint_tree):
+    result = lint_tree(
+        {
+            "fleet/work.py": WORK_MODULE,
+            "core/table.py": """
+                class SnipTable:
+                    def __init__(self, entries):
+                        self.entries = dict(entries)
+            """,
+        },
+        rules=PCK,
+    )
+    assert result.findings == []
+
+
+def test_flags_lambda_field_default_in_traced_class(lint_tree):
+    result = lint_tree(
+        {
+            "fleet/work.py": WORK_MODULE,
+            "core/table.py": """
+                class SnipTable:
+                    compare = lambda self, a, b: a < b
+            """,
+        },
+        rules=PCK,
+    )
+    assert rule_ids(result) == ["pck-lambda"]
+    assert "SnipTable" in result.findings[0].message
+
+
+def test_flags_lambda_stored_on_instance_attribute(lint_tree):
+    result = lint_tree(
+        {
+            "fleet/work.py": WORK_MODULE,
+            "core/table.py": """
+                class SnipTable:
+                    def __init__(self):
+                        self.scorer = lambda key: hash(key)
+            """,
+        },
+        rules=PCK,
+    )
+    assert rule_ids(result) == ["pck-lambda"]
+
+
+def test_flags_lambda_in_root_class_itself(lint_tree):
+    result = lint_tree(
+        {
+            "fleet/work.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class ShardTask:
+                    keyfn = lambda self: 0
+            """,
+        },
+        rules=PCK,
+    )
+    assert rule_ids(result) == ["pck-lambda"]
+
+
+def test_flags_open_handle_on_instance_attribute(lint_tree):
+    result = lint_tree(
+        {
+            "fleet/work.py": WORK_MODULE,
+            "core/table.py": """
+                class SnipTable:
+                    def __init__(self, path):
+                        self.log = open(path, "a")
+            """,
+        },
+        rules=PCK,
+    )
+    assert rule_ids(result) == ["pck-handle"]
+
+
+def test_flags_thread_lock_and_stream_attributes(lint_tree):
+    result = lint_tree(
+        {
+            "fleet/work.py": WORK_MODULE,
+            "core/table.py": """
+                import sys
+                import threading
+
+                class SnipTable:
+                    def __init__(self):
+                        self.guard = threading.Lock()
+                        self.out = sys.stderr
+            """,
+        },
+        rules=PCK,
+    )
+    assert rule_ids(result) == ["pck-handle", "pck-handle"]
+
+
+def test_flags_locally_defined_function_stored_on_self(lint_tree):
+    result = lint_tree(
+        {
+            "fleet/work.py": WORK_MODULE,
+            "core/table.py": """
+                class SnipTable:
+                    def __init__(self):
+                        def probe(key):
+                            return key in self
+                        self.probe = probe
+            """,
+        },
+        rules=PCK,
+    )
+    assert rule_ids(result) == ["pck-lambda"]
+    assert "probe" in result.findings[0].message
+
+
+def test_default_factory_lambda_is_exempt(lint_tree):
+    # The factory runs at __init__ time; only its result is pickled.
+    result = lint_tree(
+        {
+            "fleet/work.py": """
+                from dataclasses import dataclass, field
+
+                @dataclass
+                class ShardTask:
+                    entries: dict = field(default_factory=lambda: {})
+            """,
+        },
+        rules=PCK,
+    )
+    assert result.findings == []
+
+
+def test_unreachable_class_with_lambda_is_not_flagged(lint_tree):
+    # The hazard sits in a class no payload annotation reaches.
+    result = lint_tree(
+        {
+            "fleet/work.py": WORK_MODULE,
+            "core/table.py": """
+                class SnipTable:
+                    def __init__(self, entries):
+                        self.entries = dict(entries)
+            """,
+            "core/unrelated.py": """
+                class Scratchpad:
+                    keyfn = lambda self: 0
+            """,
+        },
+        rules=PCK,
+    )
+    assert result.findings == []
+
+
+def test_trace_follows_quoted_forward_references(lint_tree):
+    # ShardResult references DeviceResult via a quoted annotation.
+    result = lint_tree(
+        {
+            "fleet/work.py": WORK_MODULE.replace(
+                "device_id: int",
+                "device_id: int\n"
+                "        def __init__(self):\n"
+                "            self.fmt = lambda: ''",
+            ),
+        },
+        rules=PCK,
+    )
+    assert rule_ids(result) == ["pck-lambda"]

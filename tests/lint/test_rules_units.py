@@ -1,0 +1,133 @@
+"""True-positive and false-positive cases for the units-hygiene rule."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+UNITS = ["unt-mixed-units"]
+
+
+def test_flags_addition_of_millijoules_and_milliwatts(lint_snippet):
+    result = lint_snippet(
+        """
+        def total(cpu_mj, draw_mw):
+            return cpu_mj + draw_mw
+        """,
+        rules=UNITS,
+    )
+    assert rule_ids(result) == ["unt-mixed-units"]
+    assert "millijoule" in result.findings[0].message
+    assert "milliwatt" in result.findings[0].message
+
+
+def test_flags_subtraction_of_seconds_and_mah(lint_snippet):
+    result = lint_snippet(
+        """
+        def remaining(duration_s, capacity_mah):
+            return duration_s - capacity_mah
+        """,
+        rules=UNITS,
+    )
+    assert rule_ids(result) == ["unt-mixed-units"]
+
+
+def test_flags_attribute_operands(lint_snippet):
+    result = lint_snippet(
+        """
+        def skew(spec, pack):
+            return spec.duration_s + pack.capacity_mah
+        """,
+        rules=UNITS,
+    )
+    assert rule_ids(result) == ["unt-mixed-units"]
+
+
+def test_flags_augmented_assignment(lint_snippet):
+    result = lint_snippet(
+        """
+        def accumulate(total_mj, delta_mw):
+            total_mj += delta_mw
+            return total_mj
+        """,
+        rules=UNITS,
+    )
+    assert rule_ids(result) == ["unt-mixed-units"]
+
+
+def test_flags_ordering_comparison(lint_snippet):
+    result = lint_snippet(
+        """
+        def over_budget(elapsed_s, budget_mah):
+            return elapsed_s > budget_mah
+        """,
+        rules=UNITS,
+    )
+    assert rule_ids(result) == ["unt-mixed-units"]
+
+
+def test_flags_mixing_seconds_and_milliseconds(lint_snippet):
+    # Same dimension, different scale — still an arithmetic bug.
+    result = lint_snippet(
+        """
+        def total(duration_s, latency_ms):
+            return duration_s + latency_ms
+        """,
+        rules=UNITS,
+    )
+    assert rule_ids(result) == ["unt-mixed-units"]
+
+
+def test_same_unit_addition_is_clean(lint_snippet):
+    result = lint_snippet(
+        """
+        def total(cpu_mj, gpu_mj):
+            return cpu_mj + gpu_mj
+        """,
+        rules=UNITS,
+    )
+    assert result.findings == []
+
+
+def test_multiplication_builds_new_units_and_is_clean(lint_snippet):
+    result = lint_snippet(
+        """
+        def energy(draw_mw, duration_s):
+            return draw_mw * duration_s
+        """,
+        rules=UNITS,
+    )
+    assert result.findings == []
+
+
+def test_unsuffixed_operand_is_clean(lint_snippet):
+    result = lint_snippet(
+        """
+        def pad(duration_s, slack):
+            return duration_s + slack
+        """,
+        rules=UNITS,
+    )
+    assert result.findings == []
+
+
+def test_equivalent_suffix_spellings_are_clean(lint_snippet):
+    # `_s` and `_seconds` both canonicalise to seconds.
+    result = lint_snippet(
+        """
+        def total(duration_s, wall_seconds):
+            return duration_s + wall_seconds
+        """,
+        rules=UNITS,
+    )
+    assert result.findings == []
+
+
+def test_plural_identifiers_are_not_unit_suffixes(lint_snippet):
+    result = lint_snippet(
+        """
+        def merge(device_ids, shard_ids):
+            return device_ids + shard_ids
+        """,
+        rules=UNITS,
+    )
+    assert result.findings == []

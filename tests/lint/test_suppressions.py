@@ -1,0 +1,98 @@
+"""Suppression comments: inline, file-wide, and their failure modes."""
+
+from __future__ import annotations
+
+from repro.lint import Suppressions
+from repro.lint.runner import PARSE_ERROR_RULE
+
+from tests.lint.conftest import rule_ids
+
+
+def test_inline_ignore_with_rule_id_suppresses(lint_snippet):
+    result = lint_snippet(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # lint: ignore[det-wallclock] display only
+        """,
+        rules=["det-wallclock"],
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_bare_inline_ignore_suppresses_every_rule(lint_snippet):
+    result = lint_snippet(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # lint: ignore
+        """,
+        rules=["det-wallclock"],
+    )
+    assert result.findings == []
+
+
+def test_wrong_rule_id_does_not_suppress(lint_snippet):
+    result = lint_snippet(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # lint: ignore[det-set-iter]
+        """,
+        rules=["det-wallclock"],
+    )
+    assert rule_ids(result) == ["det-wallclock"]
+    assert result.suppressed == 0
+
+
+def test_ignore_file_suppresses_whole_module(lint_snippet):
+    result = lint_snippet(
+        """
+        # lint: ignore-file[det-wallclock]
+        import time
+
+        def stamp():
+            return time.time() + time.monotonic()
+        """,
+        rules=["det-wallclock"],
+    )
+    assert result.findings == []
+    assert result.suppressed == 2
+
+
+def test_ignore_file_without_rule_list_is_a_finding(lint_snippet):
+    result = lint_snippet(
+        """
+        # lint: ignore-file
+        import time
+        """,
+        rules=["det-wallclock"],
+    )
+    assert rule_ids(result) == [PARSE_ERROR_RULE]
+
+
+def test_marker_inside_string_literal_does_not_suppress(lint_snippet):
+    # The marker shares a line with the finding but lives in a string,
+    # so the tokenize-based parser must not honour it.
+    result = lint_snippet(
+        '''
+        import time
+
+        def stamp():
+            return time.time(), "see # lint: ignore[det-wallclock]"
+        ''',
+        rules=["det-wallclock"],
+    )
+    assert rule_ids(result) == ["det-wallclock"]
+
+
+def test_suppressions_table_parses_multiple_ids():
+    table = Suppressions("x = 1  # lint: ignore[rule-a, rule-b]\n")
+    assert table.covers("rule-a", 1)
+    assert table.covers("rule-b", 1)
+    assert not table.covers("rule-c", 1)
+    assert not table.covers("rule-a", 2)
