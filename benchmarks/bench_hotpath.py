@@ -1,0 +1,250 @@
+"""Microbenchmarks for the vectorized hot path (standalone script).
+
+Times the optimised implementations against their in-source golden
+references — batched tree/forest prediction vs. per-row walks, in-place
+permutation importance vs. the full-matrix-copy variant, compiled
+runtime probes vs. per-event string parsing, and a warm package-cache
+``SnipScheme.prepare`` vs. a cold profile — checks the equivalence and
+speedup gates, and writes ``BENCH_hotpath.json`` at the repo root.
+
+Run directly (CI's perf-smoke job uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import SnipConfig
+from repro.core.package_cache import PackageCache
+from repro.core.profiler import CloudProfiler
+from repro.core.runtime import SnipRuntime
+from repro.games.registry import GAME_CONTENT_SEED, create_game
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.permutation import (
+    permutation_importance,
+    permutation_importance_reference,
+)
+from repro.ml.tree import DecisionTreeClassifier
+from repro.schemes.snip_scheme import SnipScheme
+from repro.soc.soc import snapdragon_821
+from repro.users.tracegen import generate_events
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _synthetic(rows: int, cols: int, classes: int = 5):
+    rng = np.random.default_rng(42)
+    features = rng.normal(size=(rows, cols))
+    # Labels depend on a few columns so the trees have structure to find.
+    labels = (
+        (features[:, 0] > 0).astype(np.int64)
+        + 2 * (features[:, 1] + features[:, 2] > 0).astype(np.int64)
+    ) % classes
+    weights = rng.integers(1, 1000, size=rows).astype(np.float64)
+    return features, labels, weights
+
+
+def bench_tree_predict(quick: bool, repeats: int) -> dict:
+    rows, cols = (300, 32) if quick else (1000, 64)
+    features, labels, weights = _synthetic(rows, cols)
+    tree = DecisionTreeClassifier(max_depth=14, min_samples_leaf=2, seed=3)
+    tree.fit(features, labels, weights)
+    fast = tree.predict(features)
+    reference = tree.predict_reference(features)
+    assert np.array_equal(fast, reference), "tree predict diverged from reference"
+    fast_s = _time(lambda: tree.predict(features), repeats)
+    ref_s = _time(lambda: tree.predict_reference(features), repeats)
+    return {"fast_s": fast_s, "reference_s": ref_s, "speedup": ref_s / fast_s}
+
+
+def bench_forest_predict(quick: bool, repeats: int) -> dict:
+    rows, cols = (300, 32) if quick else (1000, 64)
+    trees = 10 if quick else 25
+    features, labels, weights = _synthetic(rows, cols)
+    forest = RandomForestClassifier(
+        n_trees=trees, max_depth=14, min_samples_leaf=2, seed=3
+    )
+    forest.fit(features, labels, weights)
+    fast = forest.predict(features)
+    reference = forest.predict_reference(features)
+    assert np.array_equal(fast, reference), "forest predict diverged from reference"
+    fast_s = _time(lambda: forest.predict(features), repeats)
+    ref_s = _time(lambda: forest.predict_reference(features), repeats)
+    return {"fast_s": fast_s, "reference_s": ref_s, "speedup": ref_s / fast_s}
+
+
+class _SeedPredictModel:
+    """A forest restricted to its per-row reference walks.
+
+    The PFI baseline must reproduce the *seed* cost profile — full
+    feature-matrix copies feeding per-row tree descents — otherwise the
+    reference run would silently benefit from the vectorized arena.
+    """
+
+    def __init__(self, forest: RandomForestClassifier) -> None:
+        self._forest = forest
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._forest.predict_reference(features)
+
+
+def bench_pfi(quick: bool, repeats: int) -> dict:
+    rows, cols = (300, 32) if quick else (1000, 64)
+    trees = 10 if quick else 25
+    features, labels, weights = _synthetic(rows, cols)
+    names = [f"f{index}" for index in range(cols)]
+    forest = RandomForestClassifier(
+        n_trees=trees, max_depth=14, min_samples_leaf=2, seed=3
+    )
+    forest.fit(features, labels, weights)
+
+    def run_fast():
+        return permutation_importance(
+            forest, features, labels, names,
+            rng=np.random.default_rng(7), repeats=2, sample_weight=weights,
+        )
+
+    def run_reference():
+        return permutation_importance_reference(
+            _SeedPredictModel(forest), features, labels, names,
+            rng=np.random.default_rng(7), repeats=2, sample_weight=weights,
+        )
+
+    assert run_fast() == run_reference(), "PFI diverged from reference"
+    fast_s = _time(run_fast, repeats)
+    ref_s = _time(run_reference, repeats)
+    return {"fast_s": fast_s, "reference_s": ref_s, "speedup": ref_s / fast_s}
+
+
+def bench_runtime_probe(quick: bool, repeats: int) -> dict:
+    duration = 10.0 if quick else 30.0
+    config = SnipConfig()
+    package = CloudProfiler(config, cache=None).build_package_from_sessions(
+        "candy_crush", seeds=[1], duration_s=duration
+    )
+    runtime = SnipRuntime(
+        snapdragon_821(), create_game("candy_crush", GAME_CONTENT_SEED),
+        package.table, config,
+    )
+    events = list(generate_events("candy_crush", seed=9, duration_s=duration))
+    known = [event for event in events if package.table.knows(event.event_type)]
+
+    def run_fast():
+        for event in known:
+            runtime.live_key(event)
+
+    def run_reference():
+        for event in known:
+            runtime.live_key_reference(event)
+
+    assert all(
+        runtime.live_key(event) == runtime.live_key_reference(event)
+        for event in known
+    ), "compiled probes diverged from reference"
+    fast_s = _time(run_fast, repeats)
+    ref_s = _time(run_reference, repeats)
+    return {
+        "events": len(known),
+        "fast_s": fast_s,
+        "reference_s": ref_s,
+        "speedup": ref_s / fast_s,
+    }
+
+
+def bench_package_cache(quick: bool) -> dict:
+    seeds = (1,) if quick else (1, 2, 3)
+    duration = 15.0 if quick else 45.0
+    cache_dir = tempfile.mkdtemp(prefix="bench-hotpath-cache-")
+    try:
+        cache = PackageCache(cache_dir)
+
+        def prepare():
+            scheme = SnipScheme(
+                profile_seeds=seeds, profile_duration_s=duration, cache=cache
+            )
+            return scheme.prepare("candy_crush")
+
+        start = time.perf_counter()
+        cold_package = prepare()
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_package = prepare()
+        warm_s = time.perf_counter() - start
+        assert warm_package.table_bytes == cold_package.table_bytes
+        assert warm_package.profile_events == cold_package.profile_events
+        return {"cold_s": cold_s, "warm_s": warm_s, "speedup": cold_s / warm_s}
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller inputs and relaxed gates (CI smoke mode)",
+    )
+    args = parser.parse_args(argv)
+    quick = args.quick
+    repeats = 3 if quick else 5
+
+    # Quick mode checks only that the fast paths *win*; the full run
+    # enforces the headline speedup floors from the issue.
+    gates = {
+        "forest_predict": 1.5 if quick else 5.0,
+        "pfi": 1.5 if quick else 3.0,
+        "package_cache": 3.0 if quick else 10.0,
+    }
+
+    results = {"quick": quick, "benchmarks": {}, "gates": {}}
+    sections = [
+        ("tree_predict", lambda: bench_tree_predict(quick, repeats)),
+        ("forest_predict", lambda: bench_forest_predict(quick, repeats)),
+        ("pfi", lambda: bench_pfi(quick, repeats)),
+        ("runtime_probe", lambda: bench_runtime_probe(quick, repeats)),
+        ("package_cache", lambda: bench_package_cache(quick)),
+    ]
+    for name, runner in sections:
+        outcome = runner()
+        results["benchmarks"][name] = outcome
+        print(f"{name:16s} speedup {outcome['speedup']:6.1f}x", flush=True)
+
+    failed = []
+    for name, floor in gates.items():
+        speedup = results["benchmarks"][name]["speedup"]
+        ok = speedup >= floor
+        results["gates"][name] = {"floor": floor, "speedup": speedup, "ok": ok}
+        if not ok:
+            failed.append(f"{name}: {speedup:.1f}x < {floor:.1f}x")
+
+    REPORT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {REPORT_PATH}")
+    if failed:
+        print("FAILED gates: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,18 @@ def _parse_seeds(raw: str) -> List[int]:
         raise argparse.ArgumentTypeError(f"bad seed list: {raw!r}") from None
 
 
+def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="profile from scratch, bypassing the on-disk package cache",
+    )
+
+
+def _cache_mode(args) -> Optional[str]:
+    """CloudProfiler ``cache`` argument for one profiling command."""
+    return None if getattr(args, "no_cache", False) else "auto"
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -60,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     snip.add_argument("--profile-duration", type=float, default=45.0)
     snip.add_argument("--eval-seed", type=int, default=7)
     snip.add_argument("--eval-duration", type=float, default=45.0)
+    _add_cache_flag(snip)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper figure/table"
@@ -76,12 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
     devreport.add_argument("game", choices=GAME_NAMES)
     devreport.add_argument("--profile-seeds", type=_parse_seeds, default=[1, 2])
     devreport.add_argument("--profile-duration", type=float, default=30.0)
+    _add_cache_flag(devreport)
 
     ota = commands.add_parser("ota", help="build and write the OTA table file")
     ota.add_argument("game", choices=GAME_NAMES)
     ota.add_argument("--out", required=True)
     ota.add_argument("--profile-seeds", type=_parse_seeds, default=[1, 2])
     ota.add_argument("--profile-duration", type=float, default=45.0)
+    _add_cache_flag(ota)
 
     ota_info = commands.add_parser("ota-info", help="inspect an OTA table file")
     ota_info.add_argument("path")
@@ -97,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     federated.add_argument("--devices", type=int, default=4)
     federated.add_argument("--sessions", type=int, default=2)
     federated.add_argument("--duration", type=float, default=30.0)
+    _add_cache_flag(federated)
 
     fleet = commands.add_parser(
         "fleet", help="simulate a device fleet across a worker pool"
@@ -124,6 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--progress", action="store_true",
         help="stream shard progress to stderr (never part of the report)",
+    )
+    _add_cache_flag(fleet)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the on-disk package cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_SNIP_CACHE_DIR "
+             "or ~/.cache/repro-snip)",
     )
 
     lint = commands.add_parser(
@@ -184,7 +211,7 @@ def _cmd_session(args, out) -> int:
 
 def _cmd_snip(args, out) -> int:
     config = SnipConfig()
-    profiler = CloudProfiler(config)
+    profiler = CloudProfiler(config, cache=_cache_mode(args))
     package = profiler.build_package_from_sessions(
         args.game, seeds=args.profile_seeds, duration_s=args.profile_duration
     )
@@ -231,7 +258,7 @@ def _cmd_experiment(args, out) -> int:
 
 
 def _cmd_devreport(args, out) -> int:
-    profiler = CloudProfiler(SnipConfig())
+    profiler = CloudProfiler(SnipConfig(), cache=_cache_mode(args))
     package = profiler.build_package_from_sessions(
         args.game, seeds=args.profile_seeds, duration_s=args.profile_duration
     )
@@ -241,7 +268,7 @@ def _cmd_devreport(args, out) -> int:
 
 
 def _cmd_ota(args, out) -> int:
-    profiler = CloudProfiler(SnipConfig())
+    profiler = CloudProfiler(SnipConfig(), cache=_cache_mode(args))
     package = profiler.build_package_from_sessions(
         args.game, seeds=args.profile_seeds, duration_s=args.profile_duration
     )
@@ -268,7 +295,7 @@ def _cmd_federate(args, out) -> int:
     from repro.users.population import Population
 
     config = SnipConfig()
-    package = CloudProfiler(config).build_package_from_sessions(
+    package = CloudProfiler(config, cache=_cache_mode(args)).build_package_from_sessions(
         args.game, seeds=[1], duration_s=args.duration
     )
     population = Population(seed=11)
@@ -311,6 +338,7 @@ def _cmd_fleet(args, out) -> int:
         executor=make_executor(args.jobs),
         telemetry=telemetry,
         checkpoint=args.checkpoint,
+        cache=_cache_mode(args),
     )
     report = engine.run()
     print(report.to_text(), file=out)
@@ -349,6 +377,21 @@ def _cmd_lint(args, out) -> int:
     return 0 if result.clean else 1
 
 
+def _cmd_cache(args, out) -> int:
+    from repro.core.package_cache import PackageCache
+
+    store = PackageCache(args.dir) if args.dir else PackageCache()
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached packages from {store.root}", file=out)
+        return 0
+    stats = store.stats()
+    print(f"cache dir: {stats.root}", file=out)
+    print(f"entries:   {stats.entries}", file=out)
+    print(f"size:      {format_bytes(stats.total_bytes)}", file=out)
+    return 0
+
+
 def _cmd_ota_info(args, out) -> int:
     table = load_table(args.path)
     print(f"entries:  {table.entry_count}", file=out)
@@ -375,6 +418,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "summary": lambda: _cmd_summary(out),
         "federate": lambda: _cmd_federate(args, out),
         "fleet": lambda: _cmd_fleet(args, out),
+        "cache": lambda: _cmd_cache(args, out),
         "lint": lambda: _cmd_lint(args, out),
     }
     return handlers[args.command]()

@@ -25,6 +25,12 @@ from repro.core.fields import (
 )
 from repro.core.learning import ContinuousLearner, EpochResult
 from repro.core.overrides import DeveloperOverrides
+from repro.core.package_cache import (
+    CacheStats,
+    PackageCache,
+    default_package_cache,
+    package_digest,
+)
 from repro.core.pfi import EventTypeProfile, PfiAnalysis, run_pfi
 from repro.core.profiler import CloudProfiler, SnipPackage
 from repro.core.quality import QualityController, QualityReport
@@ -44,6 +50,7 @@ from repro.core.selection import (
 from repro.core.table import SnipTable
 
 __all__ = [
+    "CacheStats",
     "CloudProfiler",
     "ContinuousLearner",
     "DeveloperReport",
@@ -53,6 +60,7 @@ __all__ = [
     "QualityReport",
     "build_developer_report",
     "build_device_contribution",
+    "default_package_cache",
     "dump_table",
     "federate",
     "load_table",
@@ -62,6 +70,7 @@ __all__ = [
     "EpochResult",
     "EventTypeProfile",
     "FieldInfo",
+    "PackageCache",
     "PfiAnalysis",
     "SelectedInputs",
     "SnipConfig",
@@ -70,6 +79,7 @@ __all__ = [
     "SnipTable",
     "TrimPoint",
     "input_universe",
+    "package_digest",
     "record_inputs",
     "records_by_event_type",
     "run_pfi",

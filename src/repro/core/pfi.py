@@ -116,6 +116,10 @@ def run_pfi(records: Sequence[ProfileRecord], config: SnipConfig) -> PfiAnalysis
             features = dataset.features
             labels = dataset.labels
             weights = dataset.sample_weight
+        # The batched tree descent and in-place PFI column swaps both
+        # index this matrix heavily; one contiguous float64 copy here
+        # keeps every downstream gather on the fast path.
+        features = np.ascontiguousarray(features, dtype=np.float64)
         model = RandomForestClassifier(
             n_trees=config.forest_trees,
             max_depth=config.forest_depth,

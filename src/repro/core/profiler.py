@@ -10,12 +10,17 @@ the size/overhead accounting the paper reports in Sec. VII-C.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.android.emulator import Emulator, ProfileRecord
 from repro.android.tracing import RecordedTrace
 from repro.core.config import SnipConfig
 from repro.core.overrides import DeveloperOverrides
+from repro.core.package_cache import (
+    PackageCache,
+    default_package_cache,
+    package_digest,
+)
 from repro.core.pfi import PfiAnalysis, run_pfi
 from repro.core.selection import SelectedInputs, select_necessary_inputs
 from repro.core.table import SnipTable
@@ -62,9 +67,19 @@ class CloudProfiler:
         self,
         config: Optional[SnipConfig] = None,
         overrides: Optional[DeveloperOverrides] = None,
+        cache: Union[PackageCache, None, str] = "auto",
     ) -> None:
+        """``cache`` controls package reuse for the sessions entry point.
+
+        ``"auto"`` (the default) uses the process-default on-disk cache
+        (honouring the ``REPRO_SNIP_NO_CACHE`` opt-out), ``None``
+        disables caching for this profiler, and a
+        :class:`~repro.core.package_cache.PackageCache` pins a specific
+        store (tests and the CLI use this).
+        """
         self.config = config or SnipConfig()
         self.overrides = overrides or DeveloperOverrides()
+        self.cache = default_package_cache() if cache == "auto" else (cache or None)
         self.emulator = Emulator(verify=False)
 
     # -- stage wrappers ------------------------------------------------------
@@ -122,9 +137,27 @@ class CloudProfiler:
         seeds: Sequence[int],
         duration_s: float,
     ) -> SnipPackage:
-        """Convenience: synthesize device recordings, then build."""
+        """Convenience: synthesize device recordings, then build.
+
+        This entry point is a pure function of ``(game_name, config,
+        overrides, seeds, duration_s)`` plus the pipeline code, so the
+        result is served from the content-addressed package cache when
+        one is configured; a hit skips recording, replay, and PFI
+        entirely and returns an identical package.
+        """
+        key = None
+        if self.cache is not None:
+            key = package_digest(
+                game_name, self.config, seeds, duration_s, self.overrides
+            )
+            cached = self.cache.load(key)
+            if isinstance(cached, SnipPackage) and cached.game_name == game_name:
+                return cached
         traces = [
             generate_trace(game_name, seed=seed, duration_s=duration_s)
             for seed in seeds
         ]
-        return self.build_package(game_name, traces)
+        package = self.build_package(game_name, traces)
+        if key is not None:
+            self.cache.store(key, package)
+        return package

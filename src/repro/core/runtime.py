@@ -15,7 +15,7 @@ comparison over the necessary-input bytes, charged under the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.android.binder import Binder
 from repro.android.dispatch import charge_delivery, charge_trace, charge_upkeep
@@ -85,6 +85,17 @@ class SnipRuntime:
         self.binder = Binder(soc)
         self.stats = RuntimeStats()
         self._online: dict = {}
+        #: Per-event-type compiled field readers: the ``event:``/
+        #: ``hist:``/``extern:`` kind of every necessary input is
+        #: resolved once at install time, so the per-event probe does no
+        #: string parsing and no selection lookup.
+        self._probes: Dict[EventType, Tuple[Callable[[Event], object], ...]] = {
+            event_type: tuple(
+                self._compile_reader(info)
+                for info in self.table.fields_for(event_type)
+            )
+            for event_type in self.table.selection.by_event_type
+        }
         #: Kill switch (Sec. VII-B): when False every event takes the
         #: baseline path; probes, hits, and online learning all stop.
         self.enabled = True
@@ -96,12 +107,46 @@ class SnipRuntime:
 
         Event fields come from the event object; history fields are the
         game's live state; extern fields read the RAM-cached copy of the
-        last fetched asset.
+        last fetched asset. Each field is read by a closure compiled at
+        table-install time (see ``_compile_reader``); event types absent
+        from the selection yield the empty key, exactly as
+        :meth:`repro.core.table.SnipTable.fields_for` would report.
+        """
+        return tuple(
+            read(event) for read in self._probes.get(event.event_type, ())
+        )
+
+    def live_key_reference(self, event: Event) -> Tuple:
+        """Uncompiled key gathering (golden reference for the tests).
+
+        Re-resolves the field kind and the selection per event, like the
+        runtime originally did; the equivalence suite asserts the
+        compiled probes agree with this on every event.
         """
         key = []
         for info in self.table.fields_for(event.event_type):
             key.append(self._live_value(event, info))
         return tuple(key)
+
+    def _compile_reader(self, info: FieldInfo) -> Callable[[Event], object]:
+        """Resolve one necessary input's kind into a direct reader."""
+        kind, _, name = info.name.partition(":")
+        game = self.game
+        if kind == "event":
+            def read(event: Event) -> object:
+                return event.values.get(name)
+        elif kind == "hist":
+            def read(event: Event) -> object:
+                state = game.state
+                if state.has(name):
+                    return state.peek(name)
+                return None
+        elif kind == "extern":
+            def read(event: Event) -> object:
+                return game.extern_source.peek(name)[0]
+        else:
+            raise ValueError(f"unknown field kind in {info.name!r}")
+        return read
 
     def _live_value(self, event: Event, info: FieldInfo):
         kind, _, name = info.name.partition(":")

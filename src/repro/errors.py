@@ -97,6 +97,10 @@ class BaselineError(LintError):
     """A lint baseline file is missing, corrupt, or the wrong version."""
 
 
+class CacheError(ProfilerError):
+    """The on-disk package cache is misconfigured or unusable."""
+
+
 class FleetError(ReproError):
     """The fleet-simulation engine failed to plan or execute a run."""
 

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.core.config import SnipConfig
+from repro.core.package_cache import PackageCache
 from repro.core.profiler import CloudProfiler, SnipPackage
 from repro.core.table import SnipTable
 from repro.fleet.checkpoint import CheckpointStore
@@ -118,6 +119,7 @@ class FleetEngine:
         telemetry: Optional[TelemetryBus] = None,
         checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
         retry_budget: int = DEFAULT_RETRY_BUDGET,
+        cache: Union[PackageCache, None, str] = "auto",
     ) -> None:
         self.spec = spec
         self.executor = executor or SerialExecutor()
@@ -127,6 +129,7 @@ class FleetEngine:
             checkpoint = CheckpointStore(checkpoint)
         self.checkpoint = checkpoint
         self.retry_budget = retry_budget
+        self.cache = cache
         self._package: Optional[SnipPackage] = None
 
     # -- shipped artifacts -------------------------------------------------
@@ -135,10 +138,12 @@ class FleetEngine:
         """Profile once centrally; every device receives the result.
 
         Cached: the profile is a pure function of the spec's profile
-        seeds/duration, so resumes and repeated calls agree.
+        seeds/duration, so resumes and repeated calls agree. With the
+        on-disk package cache enabled (the default), interrupted runs
+        and sibling shards on the same host also skip re-profiling.
         """
         if self._package is None:
-            profiler = CloudProfiler(self.config)
+            profiler = CloudProfiler(self.config, cache=self.cache)
             self._package = profiler.build_package_from_sessions(
                 self.spec.game_name,
                 seeds=list(self.spec.profile_seeds),

@@ -4,17 +4,87 @@ Bootstrap-sampled CART trees with per-split feature subsampling and
 majority voting. The paper's PFI cites Breiman's random forests as the
 model under the importance measure; this is that model, sized for the
 per-event-type profile datasets (thousands of rows, tens of features).
+
+Prediction descends *all* trees at once: the fitted ensemble is packed
+into one contiguous node arena (:class:`_ForestArena`) in which leaves
+self-loop, so every (tree, row) pair advances one level per numpy step
+and the whole forest resolves in ``max_depth`` vectorized iterations
+instead of ``n_trees`` separate per-tree walks.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ModelNotFittedError
 from repro.ml.tree import DecisionTreeClassifier
+
+
+@dataclass
+class _ForestArena:
+    """Every tree of a fitted forest in one contiguous node pool.
+
+    Child indices are rebased into the pool and leaves point at
+    themselves, so batch descent needs no per-level leaf filtering:
+    rows that have already resolved simply spin in place until the
+    deepest tree finishes.
+    """
+
+    feature: np.ndarray     # int64; -1 marks a leaf
+    threshold: np.ndarray   # float64
+    left: np.ndarray        # int64 pool index (self for leaves)
+    right: np.ndarray       # int64 pool index (self for leaves)
+    prediction: np.ndarray  # int64 class index
+    roots: np.ndarray       # int64 pool index of each tree's root
+    depth: int              # deepest tree's depth
+
+    @classmethod
+    def from_trees(cls, trees: Sequence[DecisionTreeClassifier]) -> "_ForestArena":
+        features, thresholds, lefts, rights, predictions, roots = [], [], [], [], [], []
+        offset = 0
+        depth = 0
+        for tree in trees:
+            flat = tree.flat
+            size = flat.feature.size
+            left = flat.left + offset
+            right = flat.right + offset
+            leaf = flat.feature < 0
+            self_index = np.arange(offset, offset + size, dtype=np.int64)
+            left[leaf] = self_index[leaf]
+            right[leaf] = self_index[leaf]
+            features.append(flat.feature)
+            thresholds.append(flat.threshold)
+            lefts.append(left)
+            rights.append(right)
+            predictions.append(flat.prediction)
+            roots.append(offset)
+            depth = max(depth, flat.depth)
+            offset += size
+        return cls(
+            feature=np.concatenate(features),
+            threshold=np.concatenate(thresholds),
+            left=np.concatenate(lefts),
+            right=np.concatenate(rights),
+            prediction=np.concatenate(predictions),
+            roots=np.asarray(roots, dtype=np.int64),
+            depth=depth,
+        )
+
+    def predict_all(self, features: np.ndarray) -> np.ndarray:
+        """Per-tree predictions, shape ``(n_trees, n_rows)``."""
+        n_rows = features.shape[0]
+        node = np.repeat(self.roots, n_rows)
+        rows = np.tile(np.arange(n_rows), len(self.roots))
+        for _ in range(self.depth):
+            # Leaves carry feature -1 (a harmless last-column read) and
+            # self-looping children, so no masking is needed.
+            go_left = features[rows, self.feature[node]] <= self.threshold[node]
+            node = np.where(go_left, self.left[node], self.right[node])
+        return self.prediction[node].reshape(len(self.roots), n_rows)
 
 
 class RandomForestClassifier:
@@ -38,6 +108,7 @@ class RandomForestClassifier:
         self.max_features = max_features
         self.seed = seed
         self._trees: List[DecisionTreeClassifier] = []
+        self._arena: Optional[_ForestArena] = None
         self._n_classes = 0
         #: Out-of-bag accuracy estimate, set by :meth:`fit`; ``None``
         #: when no row was ever out of bag (tiny datasets).
@@ -69,6 +140,7 @@ class RandomForestClassifier:
         )
         rng = np.random.default_rng(self.seed)
         self._trees = []
+        self._arena = None
         oob_votes = np.zeros((n_rows, self._n_classes), dtype=np.int32)
         for tree_index in range(self.n_trees):
             rows = rng.integers(0, n_rows, size=n_rows)
@@ -83,9 +155,9 @@ class RandomForestClassifier:
                 n_classes=self._n_classes,
             )
             self._trees.append(tree)
-            out_of_bag = np.setdiff1d(
-                np.arange(n_rows), np.unique(rows), assume_unique=True
-            )
+            in_bag = np.zeros(n_rows, dtype=bool)
+            in_bag[rows] = True
+            out_of_bag = np.nonzero(~in_bag)[0]
             if out_of_bag.size:
                 predictions = tree.predict(features[out_of_bag])
                 oob_votes[out_of_bag, predictions] += 1
@@ -104,8 +176,23 @@ class RandomForestClassifier:
         if not self._trees:
             raise ModelNotFittedError("random forest has not been fitted")
         features = np.asarray(features, dtype=np.float64)
+        if self._arena is None:
+            self._arena = _ForestArena.from_trees(self._trees)
+        n_rows = features.shape[0]
+        predictions = self._arena.predict_all(features)
+        votes = np.bincount(
+            ((np.arange(n_rows) * self._n_classes)[None, :] + predictions).ravel(),
+            minlength=n_rows * self._n_classes,
+        ).reshape(n_rows, self._n_classes)
+        return votes.argmax(axis=1)
+
+    def predict_reference(self, features: np.ndarray) -> np.ndarray:
+        """Majority vote via per-row tree walks (golden reference)."""
+        if not self._trees:
+            raise ModelNotFittedError("random forest has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
         votes = np.zeros((features.shape[0], self._n_classes), dtype=np.int32)
         for tree in self._trees:
-            predictions = tree.predict(features)
+            predictions = tree.predict_reference(features)
             votes[np.arange(features.shape[0]), predictions] += 1
         return votes.argmax(axis=1)

@@ -3,6 +3,13 @@
 Model-agnostic: for each feature column, shuffle it and measure how much
 held-out accuracy drops. Features whose permutation costs nothing are
 unnecessary — exactly the inputs SNIP trims from its lookup table.
+
+The fast path permutes one column *in place* and restores it afterwards
+instead of copying the whole feature matrix once per (feature, repeat);
+:func:`permutation_importance_reference` keeps the original copying
+implementation as the golden reference for the equivalence suite. Both
+consume the supplied rng identically, so they yield identical results
+under the same seed.
 """
 
 from __future__ import annotations
@@ -38,6 +45,50 @@ def permutation_importance(
     Returns one entry per feature, sorted most-important first. Negative
     drops (noise) are clamped to zero so downstream selection can treat
     importances as a mass to keep.
+
+    Only one column is ever shuffled at a time, directly inside the
+    feature matrix; the original column is restored before moving on,
+    so ``features`` is unchanged on return (even on error).
+    """
+    features = np.array(features, dtype=np.float64, copy=True)
+    labels = np.asarray(labels, dtype=np.int64)
+    baseline = accuracy(model.predict(features), labels, sample_weight)
+    importances: List[FeatureImportance] = []
+    for index, name in enumerate(feature_names):
+        column = features[:, index].copy()
+        if column.size == 0 or column.min() == column.max():
+            # Constant columns cannot carry information.
+            importances.append(FeatureImportance(name=name, index=index, importance=0.0))
+            continue
+        drops = []
+        for _ in range(repeats):
+            features[:, index] = rng.permutation(column)
+            permuted = accuracy(model.predict(features), labels, sample_weight)
+            drops.append(baseline - permuted)
+        features[:, index] = column
+        importances.append(
+            FeatureImportance(
+                name=name, index=index, importance=max(0.0, float(np.mean(drops)))
+            )
+        )
+    importances.sort(key=lambda imp: (-imp.importance, imp.index))
+    return importances
+
+
+def permutation_importance_reference(
+    model,
+    features: np.ndarray,
+    labels: np.ndarray,
+    feature_names: Sequence[str],
+    rng: np.random.Generator,
+    repeats: int = 3,
+    sample_weight: Optional[np.ndarray] = None,
+) -> List[FeatureImportance]:
+    """The original full-matrix-copy implementation (golden reference).
+
+    Identical semantics and rng consumption to
+    :func:`permutation_importance`; it exists so the equivalence tests
+    can assert the in-place rewrite changed nothing.
     """
     features = np.asarray(features, dtype=np.float64)
     labels = np.asarray(labels, dtype=np.int64)
@@ -46,7 +97,6 @@ def permutation_importance(
     for index, name in enumerate(feature_names):
         column = features[:, index].copy()
         if len(np.unique(column)) < 2:
-            # Constant columns cannot carry information.
             importances.append(FeatureImportance(name=name, index=index, importance=0.0))
             continue
         drops = []

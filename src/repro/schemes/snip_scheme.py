@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from repro.core.config import SnipConfig
+from repro.core.package_cache import PackageCache
 from repro.core.profiler import CloudProfiler, SnipPackage
 from repro.core.runtime import SnipRuntime
 from repro.errors import SchemeError
@@ -56,16 +57,24 @@ class SnipScheme(Scheme):
         config: Optional[SnipConfig] = None,
         profile_seeds: Sequence[int] = DEFAULT_PROFILE_SEEDS,
         profile_duration_s: float = DEFAULT_PROFILE_DURATION_S,
+        cache: Union[PackageCache, None, str] = "auto",
     ) -> None:
         self.config = config or SnipConfig()
         self.profile_seeds = tuple(profile_seeds)
         self.profile_duration_s = profile_duration_s
+        self.cache = cache
         self._packages: Dict[str, SnipPackage] = {}
 
     def prepare(self, game_name: str) -> SnipPackage:
-        """Build (or fetch the cached) SNIP package for a game."""
+        """Build (or fetch the cached) SNIP package for a game.
+
+        Caching is two-level: an in-memory per-scheme dict, then the
+        profiler's content-addressed on-disk store (``cache``, forwarded
+        to :class:`CloudProfiler`), so repeated ``prepare`` calls across
+        processes reuse one profiling run.
+        """
         if game_name not in self._packages:
-            profiler = CloudProfiler(self.config)
+            profiler = CloudProfiler(self.config, cache=self.cache)
             self._packages[game_name] = profiler.build_package_from_sessions(
                 game_name, seeds=self.profile_seeds, duration_s=self.profile_duration_s
             )

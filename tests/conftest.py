@@ -7,6 +7,8 @@ them as read-only. Anything a test mutates gets its own fixture.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.android.emulator import Emulator
@@ -18,6 +20,25 @@ from repro.users.tracegen import generate_trace
 
 #: Short but non-trivial session length for shared fixtures.
 FIXTURE_DURATION_S = 30.0
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_package_cache(tmp_path_factory):
+    """Point the default package cache at a per-run tmp directory.
+
+    Default-on caching is part of what the suite exercises (repeated
+    profiles of the same fixture inputs hit it), but test runs must
+    never read from or write to the developer's ``~/.cache``.
+    """
+    previous = os.environ.get("REPRO_SNIP_CACHE_DIR")
+    os.environ["REPRO_SNIP_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("package-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_SNIP_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_SNIP_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

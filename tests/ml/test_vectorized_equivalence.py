@@ -1,0 +1,154 @@
+"""Vectorized ML fast paths agree exactly with their golden references.
+
+The flattened-tree / forest-arena prediction and the in-place
+permutation importance are pure optimisations: under every seed and
+shape they must reproduce the recursive per-row implementations
+bit for bit. Hypothesis drives the shapes and seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelNotFittedError
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.permutation import (
+    permutation_importance,
+    permutation_importance_reference,
+)
+from repro.ml.tree import DecisionTreeClassifier, FlatTree
+
+
+def _dataset(seed: int, rows: int, cols: int, classes: int):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(rows, cols))
+    # Mix some low-cardinality columns in: they produce the exact
+    # threshold ties where a sloppy vectorisation would diverge.
+    for index in range(0, cols, 3):
+        features[:, index] = rng.integers(0, 4, size=rows)
+    labels = rng.integers(0, classes, size=rows)
+    weights = rng.integers(1, 500, size=rows).astype(np.float64)
+    return features, labels, weights
+
+
+class TestTreeEquivalence:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        rows=st.integers(5, 120),
+        cols=st.integers(1, 12),
+        classes=st.integers(2, 5),
+        depth=st.integers(1, 12),
+        min_leaf=st.integers(1, 4),
+    )
+    def test_flat_predict_matches_recursive(
+        self, seed, rows, cols, classes, depth, min_leaf
+    ):
+        features, labels, weights = _dataset(seed, rows, cols, classes)
+        tree = DecisionTreeClassifier(
+            max_depth=depth, min_samples_leaf=min_leaf, seed=seed
+        )
+        tree.fit(features, labels, weights)
+        assert np.array_equal(
+            tree.predict(features), tree.predict_reference(features)
+        )
+        # Out-of-sample rows too, not just the training matrix.
+        fresh = np.random.default_rng(seed + 1).normal(size=(50, cols))
+        assert np.array_equal(tree.predict(fresh), tree.predict_reference(fresh))
+
+    def test_flat_tree_layout_invariants(self):
+        features, labels, weights = _dataset(0, 80, 6, 3)
+        tree = DecisionTreeClassifier(max_depth=8, seed=0)
+        tree.fit(features, labels, weights)
+        flat = tree.flat
+        assert isinstance(flat, FlatTree)
+        leaves = flat.feature < 0
+        inner = ~leaves
+        size = flat.feature.size
+        # Inner nodes point at valid children; leaf children are unused.
+        assert np.all(flat.left[inner] < size)
+        assert np.all(flat.right[inner] < size)
+        assert np.all(flat.prediction[leaves] >= 0)
+        assert flat.depth >= 1
+
+
+class TestForestEquivalence:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        rows=st.integers(10, 100),
+        cols=st.integers(2, 10),
+        classes=st.integers(2, 4),
+        trees=st.integers(1, 8),
+    )
+    def test_arena_predict_matches_per_tree(self, seed, rows, cols, classes, trees):
+        features, labels, weights = _dataset(seed, rows, cols, classes)
+        forest = RandomForestClassifier(n_trees=trees, max_depth=10, seed=seed)
+        forest.fit(features, labels, weights)
+        assert np.array_equal(
+            forest.predict(features), forest.predict_reference(features)
+        )
+        fresh = np.random.default_rng(seed + 1).normal(size=(37, cols))
+        assert np.array_equal(
+            forest.predict(fresh), forest.predict_reference(fresh)
+        )
+
+    def test_unfitted_forest_raises_on_both_paths(self):
+        forest = RandomForestClassifier(n_trees=2)
+        with pytest.raises(ModelNotFittedError):
+            forest.predict(np.zeros((1, 2)))
+        with pytest.raises(ModelNotFittedError):
+            forest.predict_reference(np.zeros((1, 2)))
+
+
+class TestPermutationImportanceEquivalence:
+    @settings(deadline=None, max_examples=10)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        rows=st.integers(10, 80),
+        cols=st.integers(1, 8),
+    )
+    def test_in_place_matches_copying_reference(self, seed, rows, cols):
+        features, labels, weights = _dataset(seed, rows, cols, 3)
+        # A constant column exercises the skip path on both sides.
+        if cols >= 2:
+            features[:, 1] = 7.0
+        names = [f"f{index}" for index in range(cols)]
+        forest = RandomForestClassifier(n_trees=3, max_depth=8, seed=seed)
+        forest.fit(features, labels, weights)
+        fast = permutation_importance(
+            forest, features, labels, names,
+            rng=np.random.default_rng(seed), repeats=2, sample_weight=weights,
+        )
+        reference = permutation_importance_reference(
+            forest, features, labels, names,
+            rng=np.random.default_rng(seed), repeats=2, sample_weight=weights,
+        )
+        assert fast == reference
+
+    def test_caller_matrix_is_never_mutated(self):
+        features, labels, weights = _dataset(3, 60, 5, 3)
+        names = [f"f{index}" for index in range(5)]
+        forest = RandomForestClassifier(n_trees=3, max_depth=8, seed=3)
+        forest.fit(features, labels, weights)
+        before = features.copy()
+        permutation_importance(
+            forest, features, labels, names,
+            rng=np.random.default_rng(0), repeats=3, sample_weight=weights,
+        )
+        assert np.array_equal(features, before)
+
+    def test_same_rng_seed_is_deterministic(self):
+        features, labels, weights = _dataset(9, 70, 6, 3)
+        names = [f"f{index}" for index in range(6)]
+        forest = RandomForestClassifier(n_trees=4, max_depth=10, seed=9)
+        forest.fit(features, labels, weights)
+        runs = [
+            permutation_importance(
+                forest, features, labels, names,
+                rng=np.random.default_rng(11), repeats=3, sample_weight=weights,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
