@@ -1,0 +1,142 @@
+"""Microbenchmarks for the SnipPackage registry (standalone script).
+
+Times the registry's three hot operations — publishing a candidate,
+running the promotion pass over a populated slot, and resolving the
+champion package — on a slot pre-loaded with versions, checks the
+throughput gates, and writes ``BENCH_registry.json`` at the repo root.
+
+The registry sits on a fleet's control path (every staged rollout loads
+state, judges, and re-saves), so these floors guard against the state
+document or the promotion pass picking up accidental quadratic work as
+slots grow.
+
+Run directly (CI's perf-smoke job uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_registry.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.config import SnipConfig
+from repro.core.profiler import CloudProfiler
+from repro.registry import PackageRegistry, PromotionPolicy
+from repro.registry.records import PackageMetrics
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_registry.json"
+
+GAME = "candy_crush"
+
+
+def _metrics(index: int) -> PackageMetrics:
+    """Monotonically improving metrics, so every promote pass wins."""
+    return PackageMetrics(
+        hit_rate=0.90,
+        selection_accuracy=0.999,
+        selected_fields=4,
+        table_entries=12,
+        table_bytes=624,
+        energy_saved_fraction=0.20 + 0.001 * index,
+    )
+
+
+def bench_registry(quick: bool) -> dict:
+    versions = 16 if quick else 64
+    lookups = 20 if quick else 100
+    config = SnipConfig()
+    package = CloudProfiler(config, cache=None).build_package_from_sessions(
+        GAME, seeds=[1], duration_s=8.0
+    )
+    root = tempfile.mkdtemp(prefix="bench-registry-")
+    try:
+        registry = PackageRegistry(root)
+        # -- publish: one state rewrite + one payload store per call.
+        start = time.perf_counter()
+        for index in range(versions):
+            entry, created = registry.publish(
+                GAME, config, package, _metrics(index),
+                source_digest=f"bench{index:027d}",
+            )
+            assert created, "synthetic digests must never collide"
+        publish_s = time.perf_counter() - start
+
+        # -- promote: judge + apply over the ever-growing slot.
+        policy = PromotionPolicy()
+        start = time.perf_counter()
+        promoted = 0
+        for index in range(versions):
+            decision = registry.promote(
+                GAME, config, version=index + 1, policy=policy
+            )
+            promoted += decision.promoted
+        promote_s = time.perf_counter() - start
+        assert promoted == versions, "ascending metrics must always win"
+
+        # -- lookup: resolve the champion entry to its live package.
+        start = time.perf_counter()
+        for _ in range(lookups):
+            state = registry.load_state(GAME, config)
+            resolved = registry.load_package(state.champion())
+            assert resolved.game_name == GAME
+        lookup_s = time.perf_counter() - start
+
+        return {
+            "versions": versions,
+            "publish_ops_s": versions / publish_s,
+            "promote_ops_s": versions / promote_s,
+            "lookup_ops_s": lookups / lookup_s,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller slot and relaxed gates (CI smoke mode)",
+    )
+    args = parser.parse_args(argv)
+    quick = args.quick
+
+    # Floors sit far under measured throughput (hundreds to thousands
+    # of ops/s on an idle machine) so only a real regression — e.g.
+    # state handling going quadratic — trips them on shared CI runners.
+    gates = {
+        "publish_ops_s": 5.0 if quick else 10.0,
+        "promote_ops_s": 10.0 if quick else 20.0,
+        "lookup_ops_s": 5.0 if quick else 10.0,
+    }
+
+    outcome = bench_registry(quick)
+    results = {"quick": quick, "benchmarks": {"registry": outcome}, "gates": {}}
+    for name in ("publish_ops_s", "promote_ops_s", "lookup_ops_s"):
+        print(f"{name:16s} {outcome[name]:8.1f} ops/s", flush=True)
+
+    failed = []
+    for name, floor in gates.items():
+        measured = outcome[name]
+        ok = measured >= floor
+        results["gates"][name] = {"floor": floor, "measured": measured, "ok": ok}
+        if not ok:
+            failed.append(f"{name}: {measured:.1f} < {floor:.1f} ops/s")
+
+    REPORT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {REPORT_PATH}")
+    if failed:
+        print("FAILED gates: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,12 @@ Exposes the library's main workflows without writing code:
 * ``devreport`` — the Option-1 developer-intervention report;
 * ``ota`` / ``ota-info`` — write and inspect the over-the-air table file;
 * ``fleet`` — the parallel fleet-simulation engine (``--jobs N``,
-  checkpoint/resume, deterministic aggregate report).
+  checkpoint/resume, deterministic aggregate report; with
+  ``--challenger-fraction`` it stages a registry challenger on a
+  cohort of the fleet and acts on the comparison);
+* ``registry`` — the versioned SnipPackage registry
+  (``list|show|publish|promote|rollback|gc``);
+* ``cache`` — inspect or clear the on-disk package cache.
 """
 
 from __future__ import annotations
@@ -141,6 +146,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="stream shard progress to stderr (never part of the report)",
     )
+    fleet.add_argument(
+        "--challenger-fraction", type=float, default=0.0, metavar="F",
+        help="stage a registry challenger on this fleet fraction "
+             "(0 disables the cohort split)",
+    )
+    fleet.add_argument(
+        "--challenger-version", type=int, default=None, metavar="N",
+        help="registry version to trial (default: the latest candidate)",
+    )
+    fleet.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="registry directory for staged rollouts (default: "
+             "$REPRO_SNIP_REGISTRY_DIR or ~/.cache/repro-snip/registry)",
+    )
     _add_cache_flag(fleet)
 
     cache = commands.add_parser(
@@ -151,6 +170,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir", default=None, metavar="DIR",
         help="cache directory (default: $REPRO_SNIP_CACHE_DIR "
              "or ~/.cache/repro-snip)",
+    )
+    cache.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stats report format",
+    )
+
+    registry = commands.add_parser(
+        "registry",
+        help="the versioned SnipPackage registry "
+             "(publish, promote, rollback, gc)",
+    )
+    registry.add_argument(
+        "action",
+        choices=("list", "show", "publish", "promote", "rollback", "gc"),
+    )
+    registry.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="registry directory (default: $REPRO_SNIP_REGISTRY_DIR "
+             "or ~/.cache/repro-snip/registry)",
+    )
+    registry.add_argument(
+        "--game", choices=GAME_NAMES, default=None,
+        help="registry slot to act on (required except for list)",
+    )
+    registry.add_argument(
+        "--version", type=int, default=None, metavar="N",
+        help="entry version for promote/rollback (defaults: latest "
+             "candidate / previous champion)",
+    )
+    registry.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format for list/show",
+    )
+    registry.add_argument("--profile-seeds", type=_parse_seeds, default=[1, 2])
+    registry.add_argument("--profile-duration", type=float, default=45.0)
+    registry.add_argument(
+        "--no-energy", action="store_true",
+        help="publish without the energy measurement (skips its floor)",
+    )
+    registry.add_argument(
+        "--min-hit-rate", type=float, default=0.0,
+        help="promotion floor: table hit rate",
+    )
+    registry.add_argument(
+        "--min-accuracy", type=float, default=0.98,
+        help="promotion floor: selection accuracy",
+    )
+    registry.add_argument(
+        "--min-energy-saved", type=float, default=0.0,
+        help="promotion floor: energy saved vs Max-CPU",
+    )
+    registry.add_argument(
+        "--max-table-bytes", type=int, default=0,
+        help="promotion ceiling on shipped table size (0 disables)",
     )
 
     lint = commands.add_parser(
@@ -329,10 +402,33 @@ def _cmd_fleet(args, out) -> int:
         profile_duration_s=args.profile_duration,
         measure_energy=not args.no_energy,
         federate=not args.no_federate,
+        challenger_fraction=args.challenger_fraction,
     )
     telemetry = TelemetryBus()
     if args.progress:
         telemetry.subscribe(progress_printer(sys.stderr))
+    if args.challenger_fraction > 0:
+        from repro.errors import PromotionError, RegistryError
+        from repro.registry import PackageRegistry, run_staged_rollout
+
+        registry = (
+            PackageRegistry(args.registry) if args.registry else PackageRegistry()
+        )
+        try:
+            result = run_staged_rollout(
+                registry,
+                args.game,
+                spec,
+                challenger_version=args.challenger_version,
+                executor=make_executor(args.jobs),
+                telemetry=telemetry,
+                checkpoint=args.checkpoint,
+            )
+        except (RegistryError, PromotionError) as exc:
+            print(f"fleet rollout error: {exc}", file=sys.stderr)
+            return 1
+        print(result.to_text(), file=out)
+        return 0
     engine = FleetEngine(
         spec,
         executor=make_executor(args.jobs),
@@ -378,18 +474,159 @@ def _cmd_lint(args, out) -> int:
 
 
 def _cmd_cache(args, out) -> int:
+    import json
+
     from repro.core.package_cache import PackageCache
 
     store = PackageCache(args.dir) if args.dir else PackageCache()
     if args.action == "clear":
-        removed = store.clear()
-        print(f"removed {removed} cached packages from {store.root}", file=out)
+        cleared = store.clear()
+        print(
+            f"removed {cleared.entries} cached packages from {store.root} "
+            f"({format_bytes(cleared.bytes_reclaimed)} reclaimed)",
+            file=out,
+        )
         return 0
     stats = store.stats()
+    if args.format == "json":
+        print(json.dumps(stats.to_dict(), indent=2, sort_keys=True), file=out)
+        return 0
     print(f"cache dir: {stats.root}", file=out)
     print(f"entries:   {stats.entries}", file=out)
     print(f"size:      {format_bytes(stats.total_bytes)}", file=out)
+    print(f"corrupt evictions: {stats.corrupt_evictions}", file=out)
     return 0
+
+
+def _registry_entry_line(entry) -> str:
+    metrics = entry.metrics
+    energy = (
+        f"{metrics.energy_saved_fraction:.1%}"
+        if metrics.energy_saved_fraction is not None
+        else "n/a"
+    )
+    return (
+        f"  v{entry.version} [{entry.status}] digest {entry.digest} "
+        f"source {entry.source} | hit {metrics.hit_rate:.1%} "
+        f"acc {metrics.selection_accuracy:.2%} energy {energy} "
+        f"fields {metrics.selected_fields} "
+        f"table {format_bytes(metrics.table_bytes)}"
+    )
+
+
+def _cmd_registry(args, out) -> int:
+    import json
+
+    from repro.errors import PromotionError, RegistryError
+    from repro.registry import (
+        PackageRegistry,
+        PromotionPolicy,
+        publish_candidate,
+    )
+
+    registry = PackageRegistry(args.dir) if args.dir else PackageRegistry()
+    config = SnipConfig()
+    if args.action != "list" and not args.game:
+        print(f"registry {args.action} needs --game", file=sys.stderr)
+        return 2
+    try:
+        if args.action == "list":
+            slots = [
+                {
+                    "game": game,
+                    "config_fingerprint": fingerprint,
+                    "versions": len(state.entries),
+                    "champion_version": state.champion_version,
+                }
+                for game, fingerprint, state in registry.slots()
+            ]
+            if args.format == "json":
+                print(json.dumps(slots, indent=2, sort_keys=True), file=out)
+                return 0
+            print(f"registry: {registry.root}", file=out)
+            if not slots:
+                print("(empty)", file=out)
+            for slot in slots:
+                champion = (
+                    f"champion v{slot['champion_version']}"
+                    if slot["champion_version"] is not None
+                    else "no champion"
+                )
+                print(
+                    f"  {slot['game']} ({slot['config_fingerprint']}): "
+                    f"{slot['versions']} versions, {champion}",
+                    file=out,
+                )
+            return 0
+        if args.action == "show":
+            state = registry.load_state(args.game, config)
+            if args.format == "json":
+                print(
+                    json.dumps(state.to_dict(), indent=2, sort_keys=True),
+                    file=out,
+                )
+                return 0
+            champion = (
+                f"v{state.champion_version}"
+                if state.champion_version is not None
+                else "none"
+            )
+            history = (
+                " -> ".join(f"v{version}" for version in state.champion_history)
+                or "none"
+            )
+            print(f"{args.game}: champion {champion} (history: {history})",
+                  file=out)
+            for version in sorted(state.entries):
+                print(_registry_entry_line(state.entries[version]), file=out)
+            return 0
+        if args.action == "publish":
+            entry, _, created = publish_candidate(
+                registry,
+                args.game,
+                seeds=args.profile_seeds,
+                duration_s=args.profile_duration,
+                config=config,
+                measure_energy=not args.no_energy,
+            )
+            verb = "published" if created else "already registered as"
+            print(f"{verb} {args.game} v{entry.version} "
+                  f"(digest {entry.digest})", file=out)
+            return 0
+        if args.action == "promote":
+            policy = PromotionPolicy(
+                min_hit_rate=args.min_hit_rate,
+                min_selection_accuracy=args.min_accuracy,
+                min_energy_saved_fraction=args.min_energy_saved,
+                max_table_bytes=args.max_table_bytes,
+            )
+            decision = registry.promote(
+                args.game, config, version=args.version, policy=policy
+            )
+            if decision.promoted:
+                print(f"promoted v{decision.version} to champion "
+                      f"(score {decision.challenger_score:.6f})", file=out)
+                return 0
+            print(f"rejected v{decision.version}:", file=out)
+            for reason in decision.reasons:
+                print(f"  - {reason}", file=out)
+            return 1
+        if args.action == "rollback":
+            entry = registry.rollback(args.game, config, version=args.version)
+            print(f"rolled back: champion is now v{entry.version} "
+                  f"(digest {entry.digest})", file=out)
+            return 0
+        stats = registry.gc(args.game, config)
+        print(
+            f"gc: removed {stats.entries_removed} entries, "
+            f"{stats.payloads_removed} payloads "
+            f"({format_bytes(stats.bytes_reclaimed)} reclaimed)",
+            file=out,
+        )
+        return 0
+    except (RegistryError, PromotionError) as exc:
+        print(f"registry error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_ota_info(args, out) -> int:
@@ -419,6 +656,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "federate": lambda: _cmd_federate(args, out),
         "fleet": lambda: _cmd_fleet(args, out),
         "cache": lambda: _cmd_cache(args, out),
+        "registry": lambda: _cmd_registry(args, out),
         "lint": lambda: _cmd_lint(args, out),
     }
     return handlers[args.command]()

@@ -73,6 +73,10 @@ class ContinuousLearner:
         self.seed = seed
         self._traces: List[RecordedTrace] = []
         self.history: List[EpochResult] = []
+        #: The package each epoch built, in epoch order; the fig12
+        #: driver publishes these to the registry instead of blindly
+        #: shipping them.
+        self.packages: List = []
 
     # -- data starvation (Fig. 12 setup) -----------------------------------
 
@@ -140,6 +144,7 @@ class ContinuousLearner:
             confident=error_fraction <= self.confidence_threshold,
         )
         self.history.append(result)
+        self.packages.append(package)
         return result
 
     def run(self, epochs: int) -> List[EpochResult]:
@@ -149,50 +154,61 @@ class ContinuousLearner:
     # -- evaluation ----------------------------------------------------------------
 
     def evaluate(self, table: SnipTable, trace: RecordedTrace) -> tuple:
-        """(hit fraction, erroneous-output-field fraction) on a session.
+        """(hit fraction, erroneous-output-field fraction) on a session."""
+        return evaluate_table(self.game_name, table, trace)
 
-        The session is replayed faithfully (ground truth evolves from
-        real processing); at each event we ask what the table would have
-        substituted and compare its output fields against the truth.
-        Output fields of missed events are counted as correct — they
-        would have been computed, not substituted.
-        """
-        from repro.games.registry import GAME_CONTENT_SEED, create_game
 
-        game = create_game(self.game_name, seed=GAME_CONTENT_SEED)
-        hits = 0
-        total_fields = 0
-        wrong_fields = 0
-        events = 0
-        for recorded in trace:
-            event = recorded.to_event()
-            game.advance_engine(event)
-            entry = None
-            if table.knows(event.event_type):
-                fields = table.fields_for(event.event_type)
-                key = []
-                for info in fields:
-                    kind, _, name = info.name.partition(":")
-                    if kind == "event":
-                        key.append(event.values.get(name))
-                    elif kind == "hist":
-                        key.append(
-                            game.state.peek(name) if game.state.has(name) else None
-                        )
-                    else:
-                        key.append(game.extern_source.peek(name)[0])
-                entry = table.lookup(event.event_type, tuple(key))
-            truth = game.process(event)  # ground truth always executes
-            events += 1
-            total_fields += max(1, len(truth.writes))
-            if entry is None:
-                continue
-            hits += 1
-            predicted = {write.name: write.value for write in entry.writes}
-            actual = {write.name: write.value for write in truth.writes}
-            for name in sorted(set(predicted) | set(actual)):
-                if predicted.get(name) != actual.get(name):
-                    wrong_fields += 1
-        hit_fraction = hits / events if events else 0.0
-        error_fraction = wrong_fields / total_fields if total_fields else 0.0
-        return (hit_fraction, error_fraction)
+def evaluate_table(
+    game_name: str, table: SnipTable, trace: RecordedTrace
+) -> tuple:
+    """(hit fraction, erroneous-output-field fraction) on a session.
+
+    The session is replayed faithfully (ground truth evolves from
+    real processing); at each event we ask what the table would have
+    substituted and compare its output fields against the truth.
+    Output fields of missed events are counted as correct — they
+    would have been computed, not substituted.
+
+    Shared by the continuous learner (Fig. 12's y-axis) and the
+    package registry, whose recorded ``selection_accuracy`` metric is
+    ``1 - error_fraction`` on a held-out session.
+    """
+    from repro.games.registry import GAME_CONTENT_SEED, create_game
+
+    game = create_game(game_name, seed=GAME_CONTENT_SEED)
+    hits = 0
+    total_fields = 0
+    wrong_fields = 0
+    events = 0
+    for recorded in trace:
+        event = recorded.to_event()
+        game.advance_engine(event)
+        entry = None
+        if table.knows(event.event_type):
+            fields = table.fields_for(event.event_type)
+            key = []
+            for info in fields:
+                kind, _, name = info.name.partition(":")
+                if kind == "event":
+                    key.append(event.values.get(name))
+                elif kind == "hist":
+                    key.append(
+                        game.state.peek(name) if game.state.has(name) else None
+                    )
+                else:
+                    key.append(game.extern_source.peek(name)[0])
+            entry = table.lookup(event.event_type, tuple(key))
+        truth = game.process(event)  # ground truth always executes
+        events += 1
+        total_fields += max(1, len(truth.writes))
+        if entry is None:
+            continue
+        hits += 1
+        predicted = {write.name: write.value for write in entry.writes}
+        actual = {write.name: write.value for write in truth.writes}
+        for name in sorted(set(predicted) | set(actual)):
+            if predicted.get(name) != actual.get(name):
+                wrong_fields += 1
+    hit_fraction = hits / events if events else 0.0
+    error_fraction = wrong_fields / total_fields if total_fields else 0.0
+    return (hit_fraction, error_fraction)

@@ -99,6 +99,11 @@ def package_digest(
     return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
 
 
+#: Sidecar file recording how many corrupt entries were ever evicted;
+#: a rising count is the signal that something is truncating writes.
+EVICTIONS_NAME = "corrupt_evictions.count"
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """What ``repro-snip cache stats`` reports."""
@@ -106,6 +111,24 @@ class CacheStats:
     root: str
     entries: int
     total_bytes: int
+    corrupt_evictions: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON form for ``cache stats --format json``."""
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "corrupt_evictions": self.corrupt_evictions,
+        }
+
+
+@dataclass(frozen=True)
+class ClearStats:
+    """What one destructive cache sweep reclaimed."""
+
+    entries: int
+    bytes_reclaimed: int
 
 
 class PackageCache:
@@ -123,9 +146,10 @@ class PackageCache:
     def load(self, key: str):
         """The cached package for a key, or ``None`` on a miss.
 
-        A corrupt or unreadable entry counts as a miss and is removed:
-        the caller re-profiles and overwrites it, which is always safe
-        because entries are pure functions of their key.
+        A corrupt or truncated entry counts as a miss and is *evicted*
+        (and counted in :attr:`CacheStats.corrupt_evictions`) instead of
+        raising: the caller re-profiles and overwrites it, which is
+        always safe because entries are pure functions of their key.
         """
         path = self.path_for(key)
         try:
@@ -138,7 +162,31 @@ class PackageCache:
                 path.unlink()
             except OSError:
                 pass
+            self._count_eviction()
             return None
+
+    def _count_eviction(self) -> None:
+        """Bump the persistent corrupt-eviction counter (best effort)."""
+        counter = self.root / EVICTIONS_NAME
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            count = self.corrupt_evictions() + 1
+            fd, staged = tempfile.mkstemp(
+                prefix=f".{EVICTIONS_NAME}.", suffix=".tmp", dir=self.root
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(f"{count}\n")
+            os.replace(staged, counter)
+        except OSError:
+            # Diagnostics must never turn an evicted miss into a crash.
+            pass
+
+    def corrupt_evictions(self) -> int:
+        """How many corrupt entries this cache directory ever evicted."""
+        try:
+            return int((self.root / EVICTIONS_NAME).read_text().strip() or 0)
+        except (OSError, ValueError):
+            return 0
 
     def store(self, key: str, package) -> Path:
         """Atomically persist a package under its key; returns the path."""
@@ -163,7 +211,7 @@ class PackageCache:
         return path
 
     def stats(self) -> CacheStats:
-        """Entry count and on-disk footprint."""
+        """Entry count, on-disk footprint, and eviction history."""
         entries = 0
         total_bytes = 0
         if self.root.is_dir():
@@ -174,20 +222,39 @@ class PackageCache:
                     continue
                 entries += 1
         return CacheStats(
-            root=str(self.root), entries=entries, total_bytes=total_bytes
+            root=str(self.root),
+            entries=entries,
+            total_bytes=total_bytes,
+            corrupt_evictions=self.corrupt_evictions(),
         )
 
-    def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+    def remove(self, key: str) -> Optional[int]:
+        """Delete one entry; returns the bytes reclaimed, ``None`` on a
+        miss.
+
+        This is the unit of size accounting that ``cache clear`` and
+        the registry's ``gc`` both report through.
+        """
+        path = self.path_for(key)
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except OSError:
+            return None
+        return size
+
+    def clear(self) -> ClearStats:
+        """Delete every entry; reports entries removed and bytes freed."""
         removed = 0
+        reclaimed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.pkg"):
-                try:
-                    path.unlink()
-                except OSError:
+            for path in list(self.root.glob("*.pkg")):
+                freed = self.remove(path.stem)
+                if freed is None:
                     continue
                 removed += 1
-        return removed
+                reclaimed += freed
+        return ClearStats(entries=removed, bytes_reclaimed=reclaimed)
 
 
 def default_cache_root() -> Path:

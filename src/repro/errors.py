@@ -101,6 +101,14 @@ class CacheError(ProfilerError):
     """The on-disk package cache is misconfigured or unusable."""
 
 
+class RegistryError(ReproError):
+    """The SnipPackage registry is missing, corrupt, or misused."""
+
+
+class PromotionError(RegistryError):
+    """A champion/challenger promotion or rollback request is invalid."""
+
+
 class FleetError(ReproError):
     """The fleet-simulation engine failed to plan or execute a run."""
 

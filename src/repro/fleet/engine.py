@@ -26,10 +26,12 @@ from repro.fleet.executors import (
     FleetExecutor,
     SerialExecutor,
 )
+from repro.errors import FleetError
 from repro.fleet.reducers import (
     FleetTotals,
     canonical_device_results,
     reduce_census,
+    reduce_cohort_totals,
     reduce_contributions,
     reduce_energy,
     reduce_totals,
@@ -52,6 +54,9 @@ class FleetReport:
     energy: Optional[EnergyReport]
     fleet_table: Optional[SnipTable]
     uplink_bytes: int
+    #: Per-rollout-cohort totals; populated only for staged rollouts
+    #: (``spec.challenger_fraction > 0``).
+    cohorts: Optional[Dict[str, FleetTotals]] = None
 
     @property
     def table_entries(self) -> int:
@@ -95,6 +100,26 @@ class FleetReport:
                     for group in ComponentGroup
                 )
                 lines.append(f"fleet ledger: {shares}")
+        if self.cohorts is not None:
+            lines.append(
+                f"rollout: challenger fraction "
+                f"{spec.challenger_fraction:g}"
+                + (
+                    f" | challenger {spec.challenger_digest}"
+                    if spec.challenger_digest else ""
+                )
+            )
+            for cohort, totals in self.cohorts.items():
+                line = (
+                    f"  cohort {cohort}: {totals.devices} devices, "
+                    f"{totals.events} events"
+                )
+                if spec.measure_energy:
+                    line += (
+                        f" | savings {totals.savings:.2%} | "
+                        f"hit rate {totals.hit_rate:.2%}"
+                    )
+                lines.append(line)
         if self.fleet_table is not None:
             lines.append(
                 f"fleet table: {self.table_entries} entries, "
@@ -120,7 +145,17 @@ class FleetEngine:
         checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
         retry_budget: int = DEFAULT_RETRY_BUDGET,
         cache: Union[PackageCache, None, str] = "auto",
+        package: Optional[SnipPackage] = None,
+        challenger: Optional[SnipPackage] = None,
     ) -> None:
+        """``package``/``challenger`` inject pre-built artifacts.
+
+        The registry's staged-rollout driver resolves both cohorts'
+        packages from registered digests and passes them here; without
+        an injected ``package`` the engine profiles its own from the
+        spec's profile seeds. A spec with ``challenger_fraction > 0``
+        requires a ``challenger``.
+        """
         self.spec = spec
         self.executor = executor or SerialExecutor()
         self.config = config or SnipConfig()
@@ -130,7 +165,14 @@ class FleetEngine:
         self.checkpoint = checkpoint
         self.retry_budget = retry_budget
         self.cache = cache
-        self._package: Optional[SnipPackage] = None
+        self._package = package
+        self.challenger = challenger
+        if spec.challenger_fraction > 0 and challenger is None:
+            raise FleetError(
+                "spec deals devices into a challenger cohort "
+                f"(challenger_fraction={spec.challenger_fraction:g}) but no "
+                "challenger package was provided"
+            )
 
     # -- shipped artifacts -------------------------------------------------
 
@@ -171,6 +213,7 @@ class FleetEngine:
             resumed=len(done),
             jobs=self.executor.jobs,
         )
+        challenger = self.challenger
         tasks = [
             ShardTask(
                 shard_index=shard.index,
@@ -179,6 +222,10 @@ class FleetEngine:
                 selection=package.selection,
                 table=package.table,
                 config=self.config,
+                challenger_selection=(
+                    challenger.selection if challenger else None
+                ),
+                challenger_table=challenger.table if challenger else None,
             )
             for shard in remaining
         ]
@@ -220,6 +267,11 @@ class FleetEngine:
             energy=reduce_energy(devices),
             fleet_table=fleet_table,
             uplink_bytes=uplink,
+            cohorts=(
+                reduce_cohort_totals(devices)
+                if self.spec.challenger_fraction > 0
+                else None
+            ),
         )
 
 

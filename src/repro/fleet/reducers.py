@@ -138,6 +138,25 @@ def reduce_census(device_results: List[DeviceResult]) -> Dict[str, int]:
     return dict(sorted(counts.items()))
 
 
+def reduce_cohort_totals(
+    device_results: List[DeviceResult],
+) -> Dict[str, FleetTotals]:
+    """Per-rollout-cohort scalar aggregates (expects canonical order).
+
+    Grouping preserves the canonical device order within each cohort
+    (cohort membership is a pure function of the device id), so the
+    per-cohort float sums inherit the same bit-identical guarantee as
+    the fleet-wide totals. Keys are sorted for stable rendering.
+    """
+    by_cohort: Dict[str, List[DeviceResult]] = {}
+    for device in device_results:
+        by_cohort.setdefault(device.cohort, []).append(device)
+    return {
+        cohort: reduce_totals(devices)
+        for cohort, devices in sorted(by_cohort.items())
+    }
+
+
 def reduce_contributions(
     device_results: List[DeviceResult],
     selection: SelectedInputs,

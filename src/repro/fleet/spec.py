@@ -22,7 +22,34 @@ from repro.games.registry import GAME_NAMES
 
 #: Bump when the spec/shard/result wire format changes incompatibly;
 #: checkpoints embed it so stale run directories are rejected loudly.
-FLEET_FORMAT_VERSION = 1
+FLEET_FORMAT_VERSION = 2
+
+#: Cohort names for staged rollouts. Every device is in exactly one;
+#: without a challenger the whole fleet is the champion cohort.
+COHORT_CHAMPION = "champion"
+COHORT_CHALLENGER = "challenger"
+
+
+def assign_cohort(device_id: int, fraction: float, salt: int) -> str:
+    """Deal one device into the champion or challenger cohort.
+
+    A pure hash of ``(salt, device_id)`` — never the shard index, the
+    worker, or any call ordering — so the assignment is stable across
+    ``--jobs`` settings, shard sizes, and re-runs, and a device keeps
+    its cohort for the whole rollout. Raising ``fraction`` only *adds*
+    devices to the challenger cohort (each device has a fixed bucket
+    value compared against the threshold), matching how fleet rollouts
+    widen 1% -> 10% -> 50% without reshuffling earlier testers.
+    """
+    if fraction <= 0.0:
+        return COHORT_CHAMPION
+    if fraction >= 1.0:
+        return COHORT_CHALLENGER
+    digest = hashlib.blake2b(
+        f"cohort:{salt}:{device_id}".encode("utf-8"), digest_size=8
+    ).digest()
+    bucket = int.from_bytes(digest, "big") / 2**64
+    return COHORT_CHALLENGER if bucket < fraction else COHORT_CHAMPION
 
 
 @dataclass(frozen=True)
@@ -57,6 +84,16 @@ class FleetSpec:
     federate:
         When True each device uploads per-key sufficient statistics and
         the reducer merges them into a fleet table.
+    challenger_fraction:
+        Fraction of the fleet dealt into the challenger cohort of a
+        staged rollout (0 disables the split). Assignment is a pure
+        hash of ``(seed, device_id)`` — see :func:`assign_cohort` — so
+        it is invariant under shard size and job count.
+    champion_digest / challenger_digest:
+        Content identities of the packages each cohort runs, recorded
+        so the fingerprint (and therefore checkpoints and reports)
+        distinguishes rollouts of different candidates. Empty when the
+        engine profiles its own package from ``profile_seeds``.
     """
 
     game_name: str
@@ -69,6 +106,9 @@ class FleetSpec:
     profile_duration_s: float = 15.0
     measure_energy: bool = True
     federate: bool = True
+    challenger_fraction: float = 0.0
+    champion_digest: str = ""
+    challenger_digest: str = ""
 
     def __post_init__(self) -> None:
         if self.game_name not in GAME_NAMES:
@@ -87,6 +127,17 @@ class FleetSpec:
             raise FleetError("profile_seeds must not be empty")
         if not (self.measure_energy or self.federate):
             raise FleetError("a fleet run must measure energy, federate, or both")
+        if not 0.0 <= self.challenger_fraction <= 1.0:
+            raise FleetError(
+                f"challenger_fraction must be within [0, 1], "
+                f"got {self.challenger_fraction}"
+            )
+
+    # -- staged rollout ----------------------------------------------------
+
+    def cohort_of(self, device_id: int) -> str:
+        """Which cohort a device belongs to under this spec."""
+        return assign_cohort(device_id, self.challenger_fraction, self.seed)
 
     # -- identity ----------------------------------------------------------
 

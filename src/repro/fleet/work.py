@@ -21,7 +21,8 @@ from repro.core.federated import DeviceContribution, build_device_contribution
 from repro.core.runtime import SnipRuntime
 from repro.core.selection import SelectedInputs
 from repro.core.table import SnipTable
-from repro.fleet.spec import FleetSpec
+from repro.errors import FleetError
+from repro.fleet.spec import COHORT_CHALLENGER, COHORT_CHAMPION, FleetSpec
 from repro.games.registry import GAME_CONTENT_SEED, create_game
 from repro.soc.energy import EnergyReport, merge_reports
 from repro.soc.soc import snapdragon_821
@@ -40,6 +41,10 @@ class ShardTask:
     selection: SelectedInputs
     table: SnipTable
     config: SnipConfig
+    #: The staged-rollout candidate shipped to the challenger cohort
+    #: (``None`` unless ``spec.challenger_fraction > 0``).
+    challenger_selection: Optional[SelectedInputs] = None
+    challenger_table: Optional[SnipTable] = None
 
 
 @dataclass
@@ -49,6 +54,9 @@ class DeviceResult:
     device_id: int
     archetype: str
     sessions: int
+    #: Which rollout cohort the device was dealt into (always
+    #: ``"champion"`` outside staged rollouts).
+    cohort: str = COHORT_CHAMPION
     events: int = 0
     #: SNIP-runtime ledger merged over the device's sessions.
     report: Optional[EnergyReport] = None
@@ -108,14 +116,32 @@ def run_device(
     table: SnipTable,
     config: SnipConfig,
     population: Optional[Population] = None,
+    challenger_selection: Optional[SelectedInputs] = None,
+    challenger_table: Optional[SnipTable] = None,
 ) -> DeviceResult:
-    """Simulate one device's sessions; pure in ``(spec.seed, device_id)``."""
+    """Simulate one device's sessions; pure in ``(spec.seed, device_id)``.
+
+    During a staged rollout, devices dealt into the challenger cohort
+    run the challenger's table instead of the champion's. Challenger
+    devices sit out the federated statistics pass: contributions are
+    keyed by the necessary-input selection, and merging two selections'
+    statistics into one fleet table would corrupt it.
+    """
     population = population or Population(seed=spec.seed)
     archetype = population.archetype_of(device_id)
+    cohort = spec.cohort_of(device_id)
+    if cohort == COHORT_CHALLENGER:
+        if challenger_table is None or challenger_selection is None:
+            raise FleetError(
+                f"device {device_id} was dealt into the challenger cohort "
+                f"but no challenger package was shipped"
+            )
+        selection, table = challenger_selection, challenger_table
     result = DeviceResult(
         device_id=device_id,
         archetype=archetype.name,
         sessions=spec.sessions_per_device,
+        cohort=cohort,
     )
     traces = [
         population.user_trace(spec.game_name, device_id, session, spec.duration_s)
@@ -145,7 +171,7 @@ def run_device(
             _replay_through(loop, trace, effective_s, base_soc)
             result.baseline_joules += base_soc.meter.total_joules
         result.report = merge_reports(session_reports)
-    if spec.federate:
+    if spec.federate and cohort == COHORT_CHAMPION:
         result.contribution = build_device_contribution(
             device_id, spec.game_name, traces, selection
         )
@@ -171,6 +197,8 @@ def run_shard(task: ShardTask) -> ShardResult:
                 task.table,
                 task.config,
                 population=population,
+                challenger_selection=task.challenger_selection,
+                challenger_table=task.challenger_table,
             )
         )
     result.wall_seconds = time.monotonic() - started  # lint: ignore[det-wallclock]

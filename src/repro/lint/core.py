@@ -219,6 +219,8 @@ class LintConfig:
     pickle_roots: Tuple[str, ...] = (
         "repro/fleet/work.py::ShardTask",
         "repro/fleet/work.py::ShardResult",
+        "repro/analysis/fig12_continuous_learning.py::EpochTask",
+        "repro/analysis/fig12_continuous_learning.py::EpochOutcome",
     )
     #: Identifier suffix -> canonical unit for the units-hygiene rule.
     unit_suffixes: Dict[str, str] = field(default_factory=lambda: {

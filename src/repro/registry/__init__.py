@@ -1,0 +1,74 @@
+"""Versioned SnipPackage registry with champion/challenger promotion.
+
+The registry is the control plane the paper's continuous-learning story
+needs: profiler output becomes a *candidate*, a deterministic promotion
+pass activates it only when it clears the configured floors *and*
+outranks the incumbent champion, staged rollouts trial it on a fleet
+fraction before fleet-wide activation, and any prior champion is one
+rollback away. See ``docs/REGISTRY.md``.
+"""
+
+from repro.registry.metrics import (
+    DEFAULT_EVAL_DURATION_S,
+    DEFAULT_EVAL_SEED,
+    measure_package,
+    metrics_from_epoch,
+)
+from repro.registry.promotion import PromotionPolicy, judge
+from repro.registry.publish import publish_candidate
+from repro.registry.records import (
+    STATUS_CANDIDATE,
+    STATUS_CHAMPION,
+    STATUS_REJECTED,
+    STATUS_RETIRED,
+    STATUS_ROLLED_BACK,
+    PackageMetrics,
+    PromotionDecision,
+    RegistryEntry,
+    RegistryState,
+    config_fingerprint,
+)
+from repro.registry.rollout import (
+    ACTION_PROMOTED,
+    ACTION_ROLLED_BACK,
+    RolloutResult,
+    judge_cohorts,
+    run_staged_rollout,
+)
+from repro.registry.store import (
+    REGISTRY_DIR_ENV,
+    GcStats,
+    PackageRegistry,
+    content_digest,
+    default_registry_root,
+)
+
+__all__ = [
+    "ACTION_PROMOTED",
+    "ACTION_ROLLED_BACK",
+    "DEFAULT_EVAL_DURATION_S",
+    "DEFAULT_EVAL_SEED",
+    "GcStats",
+    "PackageMetrics",
+    "PackageRegistry",
+    "PromotionDecision",
+    "PromotionPolicy",
+    "REGISTRY_DIR_ENV",
+    "RegistryEntry",
+    "RegistryState",
+    "RolloutResult",
+    "STATUS_CANDIDATE",
+    "STATUS_CHAMPION",
+    "STATUS_REJECTED",
+    "STATUS_RETIRED",
+    "STATUS_ROLLED_BACK",
+    "config_fingerprint",
+    "content_digest",
+    "default_registry_root",
+    "judge",
+    "judge_cohorts",
+    "measure_package",
+    "metrics_from_epoch",
+    "publish_candidate",
+    "run_staged_rollout",
+]

@@ -1,0 +1,134 @@
+"""Gated champion/challenger promotion.
+
+A challenger is activated only when it clears every configured floor
+*and* beats the incumbent champion on a ranked score — the registry's
+answer to the stale-filter failure mode: a package trained on drifted
+behaviour must prove itself on recorded metrics before it replaces the
+one already deployed. Everything here is a pure function of the two
+metric records and the policy, so the same inputs always yield the
+same decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import PromotionError
+from repro.registry.records import PackageMetrics, PromotionDecision
+
+#: Bytes per mebibyte, for the size term of the ranked score.
+_MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PromotionPolicy:
+    """Floors a challenger must clear, and the score that ranks it.
+
+    Floors are absolute gates — fail one and the challenger is rejected
+    no matter how it scores. The score is a weighted sum of the gated
+    metrics minus a table-size penalty; a challenger must *strictly*
+    outrank the incumbent (ties keep the champion, so republishing an
+    identical package can never churn the active version).
+    """
+
+    min_hit_rate: float = 0.0
+    min_selection_accuracy: float = 0.98
+    min_energy_saved_fraction: float = 0.0
+    max_table_bytes: int = 0          # 0 disables the size ceiling
+    #: Ranked-score weights. Accuracy dominates by default: shipping a
+    #: table that mispredicts is worse than shipping a smaller one.
+    accuracy_weight: float = 4.0
+    energy_weight: float = 2.0
+    hit_rate_weight: float = 1.0
+    size_penalty_per_mib: float = 0.001
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_hit_rate <= 1.0:
+            raise PromotionError(
+                f"min_hit_rate must be within [0, 1], got {self.min_hit_rate}"
+            )
+        if not 0.0 <= self.min_selection_accuracy <= 1.0:
+            raise PromotionError(
+                f"min_selection_accuracy must be within [0, 1], "
+                f"got {self.min_selection_accuracy}"
+            )
+        if self.max_table_bytes < 0:
+            raise PromotionError(
+                f"max_table_bytes must be non-negative, got {self.max_table_bytes}"
+            )
+
+    # -- gates -------------------------------------------------------------
+
+    def floors_unmet(self, metrics: PackageMetrics) -> List[str]:
+        """Which floors the metrics fail (empty means all clear).
+
+        The energy floor is skipped when the publisher did not measure
+        energy — absence of evidence is handled by keeping the floor's
+        *other* gates strict, not by inventing a number.
+        """
+        unmet = []
+        if metrics.hit_rate < self.min_hit_rate:
+            unmet.append(
+                f"hit_rate {metrics.hit_rate:.4f} < floor {self.min_hit_rate:.4f}"
+            )
+        if metrics.selection_accuracy < self.min_selection_accuracy:
+            unmet.append(
+                f"selection_accuracy {metrics.selection_accuracy:.4f} "
+                f"< floor {self.min_selection_accuracy:.4f}"
+            )
+        if (
+            metrics.energy_saved_fraction is not None
+            and metrics.energy_saved_fraction < self.min_energy_saved_fraction
+        ):
+            unmet.append(
+                f"energy_saved_fraction {metrics.energy_saved_fraction:.4f} "
+                f"< floor {self.min_energy_saved_fraction:.4f}"
+            )
+        if 0 < self.max_table_bytes < metrics.table_bytes:
+            unmet.append(
+                f"table_bytes {metrics.table_bytes} "
+                f"> ceiling {self.max_table_bytes}"
+            )
+        return unmet
+
+    def score(self, metrics: PackageMetrics) -> float:
+        """The ranked score a challenger must strictly beat."""
+        energy = metrics.energy_saved_fraction or 0.0
+        return (
+            self.accuracy_weight * metrics.selection_accuracy
+            + self.energy_weight * energy
+            + self.hit_rate_weight * metrics.hit_rate
+            - self.size_penalty_per_mib * (metrics.table_bytes / _MIB)
+        )
+
+
+def judge(
+    challenger_version: int,
+    challenger: PackageMetrics,
+    champion_version: Optional[int],
+    champion: Optional[PackageMetrics],
+    policy: PromotionPolicy,
+) -> PromotionDecision:
+    """Decide whether a challenger displaces the incumbent.
+
+    With no incumbent, clearing the floors is sufficient; with one, the
+    challenger must also strictly outrank it.
+    """
+    reasons = policy.floors_unmet(challenger)
+    challenger_score = policy.score(challenger)
+    champion_score = policy.score(champion) if champion is not None else None
+    if not reasons and champion_score is not None:
+        if challenger_score <= champion_score:
+            reasons.append(
+                f"score {challenger_score:.6f} does not beat champion "
+                f"{champion_score:.6f}"
+            )
+    return PromotionDecision(
+        version=challenger_version,
+        promoted=not reasons,
+        champion_version=champion_version,
+        challenger_score=challenger_score,
+        champion_score=champion_score,
+        reasons=tuple(reasons),
+    )

@@ -1,0 +1,67 @@
+"""Publishing profiler output into the registry.
+
+:func:`publish_candidate` is the one-call path from "profile this game"
+to "candidate on the ledger": it runs the cloud profiler *through the
+registry's package cache* (so the payload the entry references is the
+very cache object the profiler wrote — no duplication), keys the entry
+by the profiler's input-derived digest, measures the gated metrics on a
+held-out session, and records the candidate. Re-publishing the same
+inputs is a no-op, which keeps replayed pipelines byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.config import SnipConfig
+from repro.core.overrides import DeveloperOverrides
+from repro.core.package_cache import package_digest
+from repro.core.profiler import CloudProfiler, SnipPackage
+from repro.registry.metrics import (
+    DEFAULT_EVAL_DURATION_S,
+    DEFAULT_EVAL_SEED,
+    measure_package,
+)
+from repro.registry.records import RegistryEntry
+from repro.registry.store import PackageRegistry
+
+
+def publish_candidate(
+    registry: PackageRegistry,
+    game_name: str,
+    seeds: Sequence[int],
+    duration_s: float,
+    config: Optional[SnipConfig] = None,
+    overrides: Optional[DeveloperOverrides] = None,
+    eval_seed: int = DEFAULT_EVAL_SEED,
+    eval_duration_s: float = DEFAULT_EVAL_DURATION_S,
+    measure_energy: bool = True,
+) -> Tuple[RegistryEntry, SnipPackage, bool]:
+    """Profile, measure, and register one candidate package.
+
+    Returns ``(entry, package, created)`` — ``created`` is False when
+    the slot already held a candidate built from identical inputs.
+    """
+    config = config or SnipConfig()
+    overrides = overrides or DeveloperOverrides()
+    profiler = CloudProfiler(config, overrides=overrides, cache=registry.cache)
+    package = profiler.build_package_from_sessions(
+        game_name, seeds=list(seeds), duration_s=duration_s
+    )
+    digest = package_digest(game_name, config, seeds, duration_s, overrides)
+    metrics = measure_package(
+        package,
+        config,
+        eval_seed=eval_seed,
+        eval_duration_s=eval_duration_s,
+        measure_energy=measure_energy,
+    )
+    entry, created = registry.publish(
+        game_name,
+        config,
+        package,
+        metrics,
+        source="profiler",
+        source_digest=digest,
+    )
+    return entry, package, created

@@ -113,3 +113,42 @@ class TestFig12:
 
     def test_renders(self, fig12):
         assert "% erroneous fields" in fig12.to_text()
+
+    def test_every_cycle_has_a_registry_decision(self, fig12):
+        assert fig12.decisions is not None
+        assert [d.epoch for d in fig12.decisions] == [0, 1, 2, 3]
+
+    def test_starved_cycle_is_rejected_not_shipped(self, fig12):
+        # The data-starved first table mispredicts far below the
+        # accuracy floor, so the promotion pass must refuse to ship it.
+        first = fig12.decisions[0]
+        assert not first.shipped
+        assert first.reasons
+
+    def test_recovered_cycle_ships(self, fig12):
+        assert fig12.first_shipped_epoch is not None
+        assert fig12.first_shipped_epoch > 0
+        assert "shipped" in fig12.to_text()
+
+    def test_supplied_registry_ends_with_a_champion(self, tmp_path):
+        from repro.core.config import SnipConfig
+        from repro.registry import PackageRegistry
+
+        registry = PackageRegistry(tmp_path / "registry")
+        result = run_fig12(
+            game_name="colorphun",
+            epochs=3,
+            session_duration_s=15.0,
+            initial_events=40,
+            ramp=2.5,
+            registry=registry,
+        )
+        state = registry.load_state("colorphun", SnipConfig())
+        assert len(state.entries) == len(
+            {d.version for d in result.decisions}
+        )
+        shipped = [d for d in result.decisions if d.shipped]
+        if shipped:
+            assert state.champion_version == shipped[-1].version
+        else:
+            assert state.champion_version is None

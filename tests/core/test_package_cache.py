@@ -97,6 +97,27 @@ class TestPackageCacheStore:
         assert cache.load("key") is None
         assert not path.exists()
 
+    def test_corrupt_evictions_are_counted(self, tmp_path, built_package):
+        cache = PackageCache(tmp_path)
+        assert cache.stats().corrupt_evictions == 0
+        for round_ in range(2):
+            path = cache.store("key", built_package)
+            path.write_bytes(b"not a package")
+            assert cache.load("key") is None
+            assert cache.stats().corrupt_evictions == round_ + 1
+        # A clean hit does not move the counter.
+        cache.store("key", built_package)
+        assert cache.load("key") is not None
+        assert cache.corrupt_evictions() == 2
+
+    def test_remove_returns_reclaimed_bytes(self, tmp_path, built_package):
+        cache = PackageCache(tmp_path)
+        path = cache.store("a", built_package)
+        size = path.stat().st_size
+        assert cache.remove("a") == size
+        assert cache.remove("a") is None
+        assert cache.load("a") is None
+
     def test_stats_and_clear(self, tmp_path, built_package):
         cache = PackageCache(tmp_path)
         assert cache.stats().entries == 0
@@ -106,7 +127,10 @@ class TestPackageCacheStore:
         assert stats.entries == 2
         assert stats.total_bytes > 0
         assert stats.root == str(tmp_path)
-        assert cache.clear() == 2
+        assert stats.to_dict()["entries"] == 2
+        cleared = cache.clear()
+        assert cleared.entries == 2
+        assert cleared.bytes_reclaimed == stats.total_bytes
         assert cache.stats().entries == 0
 
 

@@ -1,0 +1,48 @@
+"""Shared fixtures for the registry test suite.
+
+Two real (but tiny) profiled packages with distinct digests, built once
+per session; metric records are synthesized per test so promotion
+behaviour can be steered precisely without re-profiling.
+"""
+
+import pytest
+
+from repro.core.config import SnipConfig
+from repro.core.profiler import CloudProfiler
+
+GAME = "candy_crush"
+
+
+@pytest.fixture(scope="session")
+def config():
+    return SnipConfig()
+
+
+@pytest.fixture(scope="session")
+def package_a(config):
+    return CloudProfiler(config, cache=None).build_package_from_sessions(
+        GAME, seeds=[1], duration_s=6.0
+    )
+
+
+@pytest.fixture(scope="session")
+def package_b(config):
+    return CloudProfiler(config, cache=None).build_package_from_sessions(
+        GAME, seeds=[1, 2], duration_s=6.0
+    )
+
+
+def make_metrics(**overrides):
+    """A healthy metric record, tweakable per test."""
+    from repro.registry import PackageMetrics
+
+    payload = dict(
+        hit_rate=0.95,
+        selection_accuracy=0.999,
+        selected_fields=4,
+        table_entries=12,
+        table_bytes=624,
+        energy_saved_fraction=0.30,
+    )
+    payload.update(overrides)
+    return PackageMetrics(**payload)

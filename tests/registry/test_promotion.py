@@ -1,0 +1,94 @@
+"""Floors and ranked scoring: the gated promotion judgement."""
+
+import pytest
+
+from repro.errors import PromotionError
+from repro.registry import PromotionPolicy, judge
+
+from tests.registry.conftest import make_metrics
+
+
+class TestFloors:
+    def test_healthy_metrics_clear_default_floors(self):
+        assert PromotionPolicy().floors_unmet(make_metrics()) == []
+
+    def test_accuracy_floor(self):
+        unmet = PromotionPolicy().floors_unmet(
+            make_metrics(selection_accuracy=0.90)
+        )
+        assert any("selection_accuracy" in reason for reason in unmet)
+
+    def test_hit_rate_floor(self):
+        policy = PromotionPolicy(min_hit_rate=0.8)
+        unmet = policy.floors_unmet(make_metrics(hit_rate=0.5))
+        assert any("hit_rate" in reason for reason in unmet)
+
+    def test_energy_floor_enforced_when_measured(self):
+        policy = PromotionPolicy(min_energy_saved_fraction=0.25)
+        unmet = policy.floors_unmet(
+            make_metrics(energy_saved_fraction=0.10)
+        )
+        assert any("energy_saved_fraction" in reason for reason in unmet)
+
+    def test_energy_floor_skipped_when_unmeasured(self):
+        policy = PromotionPolicy(min_energy_saved_fraction=0.25)
+        assert policy.floors_unmet(
+            make_metrics(energy_saved_fraction=None)
+        ) == []
+
+    def test_size_ceiling(self):
+        policy = PromotionPolicy(max_table_bytes=100)
+        unmet = policy.floors_unmet(make_metrics(table_bytes=1000))
+        assert any("table_bytes" in reason for reason in unmet)
+        assert PromotionPolicy().floors_unmet(
+            make_metrics(table_bytes=10**9)
+        ) == []  # ceiling disabled by default
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(PromotionError):
+            PromotionPolicy(min_hit_rate=1.5)
+        with pytest.raises(PromotionError):
+            PromotionPolicy(max_table_bytes=-1)
+
+
+class TestJudge:
+    def test_no_incumbent_floors_suffice(self):
+        decision = judge(1, make_metrics(), None, None, PromotionPolicy())
+        assert decision.promoted
+        assert decision.champion_version is None
+        assert decision.reasons == ()
+
+    def test_challenger_below_floors_rejected(self):
+        decision = judge(
+            2,
+            make_metrics(selection_accuracy=0.5),
+            1,
+            make_metrics(),
+            PromotionPolicy(),
+        )
+        assert not decision.promoted
+        assert decision.reasons
+
+    def test_challenger_beating_champion_promoted(self):
+        decision = judge(
+            2,
+            make_metrics(energy_saved_fraction=0.40),
+            1,
+            make_metrics(energy_saved_fraction=0.30),
+            PromotionPolicy(),
+        )
+        assert decision.promoted
+        assert decision.challenger_score > decision.champion_score
+
+    def test_tie_keeps_champion(self):
+        decision = judge(
+            2, make_metrics(), 1, make_metrics(), PromotionPolicy()
+        )
+        assert not decision.promoted
+        assert any("does not beat" in reason for reason in decision.reasons)
+
+    def test_size_penalty_breaks_metric_ties(self):
+        small = make_metrics(table_bytes=1024)
+        large = make_metrics(table_bytes=64 * 1024 * 1024)
+        decision = judge(2, small, 1, large, PromotionPolicy())
+        assert decision.promoted

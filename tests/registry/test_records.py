@@ -1,0 +1,86 @@
+"""Canonical JSON round-trips of the ledger record types."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import SnipConfig
+from repro.errors import RegistryError
+from repro.registry import (
+    PromotionDecision,
+    RegistryEntry,
+    RegistryState,
+    STATUS_CANDIDATE,
+    config_fingerprint,
+)
+from repro.registry.records import PackageMetrics
+
+from tests.registry.conftest import make_metrics
+
+
+class TestConfigFingerprint:
+    def test_stable(self):
+        assert config_fingerprint(SnipConfig()) == config_fingerprint(
+            SnipConfig()
+        )
+
+    def test_sensitive_to_config(self):
+        base = SnipConfig()
+        tweaked = dataclasses.replace(
+            base, forest_trees=base.forest_trees + 1
+        )
+        assert config_fingerprint(base) != config_fingerprint(tweaked)
+
+
+class TestRoundTrips:
+    def test_metrics(self):
+        metrics = make_metrics()
+        assert PackageMetrics.from_dict(metrics.to_dict()) == metrics
+        unmeasured = make_metrics(energy_saved_fraction=None)
+        assert (
+            PackageMetrics.from_dict(unmeasured.to_dict()) == unmeasured
+        )
+
+    def test_decision(self):
+        decision = PromotionDecision(
+            version=2,
+            promoted=False,
+            champion_version=1,
+            challenger_score=1.25,
+            champion_score=2.5,
+            reasons=("too slow", "too big"),
+        )
+        assert PromotionDecision.from_dict(decision.to_dict()) == decision
+
+    def test_state_with_entries(self):
+        entry = RegistryEntry(
+            version=1,
+            digest="abc123",
+            game_name="candy_crush",
+            status=STATUS_CANDIDATE,
+            metrics=make_metrics(),
+            source="fig12",
+        )
+        state = RegistryState(
+            game_name="candy_crush",
+            config_fingerprint=config_fingerprint(SnipConfig()),
+            entries={1: entry},
+        )
+        rebuilt = RegistryState.from_dict(state.to_dict())
+        assert rebuilt.entries[1] == entry
+        assert rebuilt.champion_version is None
+        assert rebuilt.next_version == 2
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(RegistryError, match="status"):
+            RegistryEntry(
+                version=1,
+                digest="abc",
+                game_name="candy_crush",
+                status="shiny",
+                metrics=make_metrics(),
+            )
+
+    def test_bad_format_version_rejected(self):
+        with pytest.raises(RegistryError, match="format"):
+            RegistryState.from_dict({"format_version": 99, "entries": []})

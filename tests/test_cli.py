@@ -73,10 +73,112 @@ class TestCommands:
         assert "entries" in text and "key = [" in text
 
 
+class TestCacheCommands:
+    def test_stats_json(self, tmp_path):
+        code, text = run_cli(
+            "cache", "stats", "--dir", str(tmp_path), "--format", "json"
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(text)
+        assert payload["entries"] == 0
+        assert payload["corrupt_evictions"] == 0
+
+    def test_clear_reports_reclaimed_bytes(self, tmp_path):
+        code, text = run_cli("cache", "clear", "--dir", str(tmp_path))
+        assert code == 0
+        assert "reclaimed" in text
+
+
+class TestRegistryCommands:
+    GAME = "colorphun"
+
+    def _publish(self, directory):
+        return run_cli(
+            "registry", "publish", "--dir", directory, "--game", self.GAME,
+            "--profile-seeds", "1", "--profile-duration", "6", "--no-energy",
+        )
+
+    def test_list_empty(self, tmp_path):
+        code, text = run_cli("registry", "list", "--dir", str(tmp_path))
+        assert code == 0
+        assert "(empty)" in text
+
+    def test_actions_need_game(self, tmp_path):
+        code, _ = run_cli("registry", "show", "--dir", str(tmp_path))
+        assert code == 2
+
+    def test_publish_promote_show_roundtrip(self, tmp_path):
+        directory = str(tmp_path)
+        code, text = self._publish(directory)
+        assert code == 0 and "published" in text
+        # The 6 s profile undershoots the default accuracy floor; this
+        # test exercises the CLI plumbing, not the model quality.
+        code, text = run_cli(
+            "registry", "promote", "--dir", directory, "--game", self.GAME,
+            "--min-accuracy", "0.5",
+        )
+        assert code == 0 and "promoted v1" in text
+        code, text = run_cli(
+            "registry", "show", "--dir", directory, "--game", self.GAME
+        )
+        assert code == 0
+        assert "champion v1" in text and "[champion]" in text
+        code, text = run_cli(
+            "registry", "show", "--dir", directory, "--game", self.GAME,
+            "--format", "json",
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(text)
+        assert payload["champion_version"] == 1
+        assert payload["entries"][0]["status"] == "champion"
+
+    def test_promote_below_floor_fails_loudly(self, tmp_path):
+        directory = str(tmp_path)
+        self._publish(directory)
+        code, text = run_cli(
+            "registry", "promote", "--dir", directory, "--game", self.GAME,
+            "--min-hit-rate", "1.0",
+        )
+        assert code == 1
+        assert "rejected" in text
+
+    def test_promote_without_candidates_errors(self, tmp_path):
+        code, _ = run_cli(
+            "registry", "promote", "--dir", str(tmp_path), "--game", self.GAME
+        )
+        assert code == 1
+
+    def test_gc_reports_reclaimed(self, tmp_path):
+        directory = str(tmp_path)
+        self._publish(directory)
+        run_cli(
+            "registry", "promote", "--dir", directory, "--game", self.GAME,
+            "--min-accuracy", "0.5",
+        )
+        code, text = run_cli(
+            "registry", "gc", "--dir", directory, "--game", self.GAME
+        )
+        assert code == 0
+        assert "reclaimed" in text
+
+
 class TestExtensionCommands:
     def test_experiment_accepts_extension_ids(self):
         args = build_parser().parse_args(["experiment", "quantization"])
         assert args.id == "quantization"
+
+    def test_fleet_parses_rollout_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "--challenger-fraction", "0.25",
+             "--challenger-version", "3", "--registry", "/tmp/reg"]
+        )
+        assert args.challenger_fraction == 0.25
+        assert args.challenger_version == 3
+        assert args.registry == "/tmp/reg"
 
     def test_federate_command(self):
         code, text = run_cli(
