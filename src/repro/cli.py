@@ -128,7 +128,22 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--duration", type=float, default=10.0)
     fleet.add_argument("--seed", type=int, default=0)
     fleet.add_argument("--jobs", type=int, default=1)
+    fleet.add_argument(
+        "--executor", choices=("auto", "serial", "process", "queue"),
+        default="auto", dest="executor_kind",
+        help="execution backend: auto picks serial/process from --jobs; "
+             "queue bounds in-flight work for huge fleets",
+    )
     fleet.add_argument("--shard-size", type=int, default=8)
+    fleet.add_argument(
+        "--max-live-shards", type=int, default=None, metavar="N",
+        help="cap on shard results held in memory awaiting their fold "
+             "turn (overflow spills to disk)",
+    )
+    fleet.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report rendering (both byte-identical across schedules)",
+    )
     fleet.add_argument(
         "--checkpoint", default=None, metavar="DIR",
         help="run directory for checkpoint/resume of the sweep",
@@ -390,6 +405,7 @@ def _cmd_federate(args, out) -> int:
 
 def _cmd_fleet(args, out) -> int:
     from repro.fleet import FleetEngine, FleetSpec, TelemetryBus, make_executor
+    from repro.fleet.engine import DEFAULT_MAX_LIVE_SHARDS
     from repro.fleet.telemetry import progress_printer
 
     spec = FleetSpec(
@@ -407,6 +423,12 @@ def _cmd_fleet(args, out) -> int:
     telemetry = TelemetryBus()
     if args.progress:
         telemetry.subscribe(progress_printer(sys.stderr))
+    executor = make_executor(args.jobs, kind=args.executor_kind)
+    max_live = (
+        args.max_live_shards
+        if args.max_live_shards is not None
+        else DEFAULT_MAX_LIVE_SHARDS
+    )
     if args.challenger_fraction > 0:
         from repro.errors import PromotionError, RegistryError
         from repro.registry import PackageRegistry, run_staged_rollout
@@ -420,24 +442,29 @@ def _cmd_fleet(args, out) -> int:
                 args.game,
                 spec,
                 challenger_version=args.challenger_version,
-                executor=make_executor(args.jobs),
+                executor=executor,
                 telemetry=telemetry,
                 checkpoint=args.checkpoint,
+                max_live_shards=max_live,
             )
         except (RegistryError, PromotionError) as exc:
             print(f"fleet rollout error: {exc}", file=sys.stderr)
             return 1
-        print(result.to_text(), file=out)
+        if args.format == "json":
+            print(result.report.to_json(), file=out)
+        else:
+            print(result.to_text(), file=out)
         return 0
     engine = FleetEngine(
         spec,
-        executor=make_executor(args.jobs),
+        executor=executor,
         telemetry=telemetry,
         checkpoint=args.checkpoint,
         cache=_cache_mode(args),
+        max_live_shards=max_live,
     )
     report = engine.run()
-    print(report.to_text(), file=out)
+    print(report.to_json() if args.format == "json" else report.to_text(), file=out)
     return 0
 
 

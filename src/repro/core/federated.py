@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.android.emulator import Emulator
 from repro.android.events import EventType
@@ -68,25 +68,34 @@ class DeviceContribution:
         return total
 
 
-def build_device_contribution(
-    device_id: int,
-    game_name: str,
-    traces: Sequence[RecordedTrace],
-    selection: SelectedInputs,
-) -> DeviceContribution:
-    """Device-side pass: replay own sessions, emit statistics.
+class ContributionBuilder:
+    """Incremental device-side pass: fold one session at a time.
 
-    The replay runs on the phone (it is the same deterministic app), so
-    the cloud's emulation cost disappears — the paper's stated goal for
-    the federated direction.
+    The fleet engine streams session traces through this instead of
+    materialising a device's whole session list — each trace is
+    replayed, folded into the statistics, and dropped, so device-side
+    memory is bounded by a single session however many sessions the
+    spec plays. Sessions must be added in session order; the emitted
+    statistics are identical to the batch
+    :func:`build_device_contribution` over the same traces.
     """
-    if not traces:
-        raise ProfilerError(f"device {device_id}: no sessions to contribute")
-    contribution = DeviceContribution(device_id=device_id, game_name=game_name)
-    emulator = Emulator(verify=False)
-    for session, trace in enumerate(traces):
-        game = create_game(game_name, seed=GAME_CONTENT_SEED)
-        for record in emulator.replay(game, trace, session=session):
+
+    def __init__(
+        self, device_id: int, game_name: str, selection: SelectedInputs
+    ) -> None:
+        self.contribution = DeviceContribution(
+            device_id=device_id, game_name=game_name
+        )
+        self._selection = selection
+        self._emulator = Emulator(verify=False)
+        self._sessions = 0
+
+    def add_session(self, trace: RecordedTrace, session: int) -> None:
+        """Replay one session locally and fold its statistics."""
+        contribution = self.contribution
+        selection = self._selection
+        game = create_game(contribution.game_name, seed=GAME_CONTENT_SEED)
+        for record in self._emulator.replay(game, trace, session=session):
             if record.event_type not in selection.by_event_type:
                 continue
             fields = selection.fields_for(record.event_type)
@@ -102,17 +111,65 @@ def build_device_contribution(
             )
             contribution.writes.setdefault(signature, tuple(record.trace.writes))
             contribution.events_observed += 1
-    return contribution
+        self._sessions += 1
+
+    def finish(self) -> DeviceContribution:
+        """The device's upload; raises if no sessions were folded."""
+        if self._sessions == 0:
+            raise ProfilerError(
+                f"device {self.contribution.device_id}: no sessions to contribute"
+            )
+        return self.contribution
+
+
+def build_device_contribution(
+    device_id: int,
+    game_name: str,
+    traces: Iterable[RecordedTrace],
+    selection: SelectedInputs,
+) -> DeviceContribution:
+    """Device-side pass: replay own sessions, emit statistics.
+
+    The replay runs on the phone (it is the same deterministic app), so
+    the cloud's emulation cost disappears — the paper's stated goal for
+    the federated direction. ``traces`` is consumed exactly once, so
+    generators are fine.
+    """
+    builder = ContributionBuilder(device_id, game_name, selection)
+    for session, trace in enumerate(traces):
+        builder.add_session(trace, session)
+    return builder.finish()
+
+
+def _note_device(seen: List[int], device_id: int, cap: int) -> None:
+    """Record a distinct device id, stopping once ``cap`` are known.
+
+    The confirmation gates only ever ask "did at least *cap* distinct
+    devices confirm this?", so tracking the first ``cap`` distinct ids
+    answers them exactly while keeping per-slot memory O(cap) — a full
+    id set would grow with the fleet (10^6 devices x live slots was the
+    aggregator's memory wall).
+    """
+    if len(seen) < cap and device_id not in seen:
+        seen.append(device_id)
 
 
 class FederatedAggregator:
-    """Cloud-side merge: many devices' statistics -> one gated table."""
+    """Cloud-side merge: many devices' statistics -> one gated table.
+
+    Memory is bounded by the number of distinct slots (game content),
+    never by the number of devices merged: per-slot device support is
+    tracked only up to the confirmation threshold.
+    """
 
     def __init__(self, selection: SelectedInputs, config: SnipConfig) -> None:
         self.selection = selection
         self.config = config
         self._votes: Dict[Slot, Counter] = defaultdict(Counter)
-        self._devices: Dict[Slot, set] = defaultdict(set)
+        #: First MIN_CONFIRMING_DEVICES distinct confirming ids per slot.
+        self._confirming: Dict[Slot, List[int]] = defaultdict(list)
+        #: First two distinct contributing ids fleet-wide.
+        self._contributors: List[int] = []
         self._occurrences: Dict[Slot, int] = defaultdict(int)
         self._cycle_sums: Dict[Slot, float] = defaultdict(float)
         self._writes: Dict[Tuple, Tuple[FieldWrite, ...]] = {}
@@ -127,12 +184,38 @@ class FederatedAggregator:
         """Fold one device's statistics into the fleet aggregate."""
         for slot, votes in contribution.signature_weight.items():
             self._votes[slot].update(votes)
-            self._devices[slot].add(contribution.device_id)
+            _note_device(
+                self._confirming[slot],
+                contribution.device_id,
+                MIN_CONFIRMING_DEVICES,
+            )
             self._occurrences[slot] += contribution.occurrences[slot]
             self._cycle_sums[slot] += contribution.cycle_sums[slot]
+        if contribution.signature_weight:
+            _note_device(self._contributors, contribution.device_id, 2)
         for signature, writes in contribution.writes.items():
             self._writes.setdefault(signature, writes)
         self._contributions += 1
+
+    def absorb(self, other: "FederatedAggregator") -> None:
+        """Merge another aggregator's partial state into this one.
+
+        Used to combine per-range partial reductions; ``other`` must
+        cover device ids after this aggregator's (left-to-right merge
+        order, matching the canonical device order).
+        """
+        for slot, votes in other._votes.items():
+            self._votes[slot].update(votes)
+            confirming = self._confirming[slot]
+            for device_id in other._confirming.get(slot, ()):
+                _note_device(confirming, device_id, MIN_CONFIRMING_DEVICES)
+            self._occurrences[slot] += other._occurrences[slot]
+            self._cycle_sums[slot] += other._cycle_sums[slot]
+        for device_id in other._contributors:
+            _note_device(self._contributors, device_id, 2)
+        for signature, writes in other._writes.items():
+            self._writes.setdefault(signature, writes)
+        self._contributions += other._contributions
 
     def build_table(self) -> SnipTable:
         """Materialise the gated table from the fleet aggregate.
@@ -143,12 +226,10 @@ class FederatedAggregator:
         """
         if not self._votes:
             raise ProfilerError("no contributions merged yet")
-        multi_device = (
-            len({d for devices in self._devices.values() for d in devices}) >= 2
-        )
+        multi_device = len(self._contributors) >= 2
         table = SnipTable(self.selection)
         for slot, votes in self._votes.items():
-            if multi_device and len(self._devices[slot]) >= MIN_CONFIRMING_DEVICES:
+            if multi_device and len(self._confirming[slot]) >= MIN_CONFIRMING_DEVICES:
                 pass  # fleet-confirmed context
             elif self._occurrences[slot] < self.config.table_min_count:
                 continue

@@ -23,7 +23,7 @@ import json
 import os
 import pickle
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.errors import CheckpointError
 from repro.fleet.spec import FLEET_FORMAT_VERSION, FleetSpec
@@ -39,6 +39,10 @@ class CheckpointStore:
     def __init__(self, run_dir: Union[str, Path]) -> None:
         self.run_dir = Path(run_dir)
         self.shard_dir = self.run_dir / SHARD_DIR
+        #: Corrupt/truncated shard files evicted by
+        #: :meth:`load_resumable` (mirrors the package cache's
+        #: ``corrupt_evictions`` accounting).
+        self.corrupt_evictions = 0
 
     # -- manifest ----------------------------------------------------------
 
@@ -114,16 +118,56 @@ class CheckpointStore:
         return path
 
     def load(self, index: int) -> ShardResult:
-        """Load one persisted shard result."""
+        """Load one persisted shard result (raises on any corruption)."""
         path = self.shard_path(index)
         try:
             with path.open("rb") as handle:
                 result = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            # Unpickling a truncated or garbage file can raise nearly
+            # anything (UnpicklingError, EOFError, AttributeError,
+            # ValueError, ...); all of them mean the same thing here.
             raise CheckpointError(f"cannot load shard checkpoint {path}: {exc}") from exc
         if not isinstance(result, ShardResult) or result.shard_index != index:
             raise CheckpointError(f"shard checkpoint {path} holds the wrong payload")
         return result
+
+    def load_resumable(self, index: int) -> Optional[ShardResult]:
+        """Load one shard, evicting corrupt files as resumable misses.
+
+        A truncated, garbage, or wrong-payload shard pickle is deleted
+        (counted in :attr:`corrupt_evictions`) and reported as ``None``
+        — the shard simply re-runs — instead of aborting the whole
+        resume mid-stream.
+        """
+        try:
+            return self.load(index)
+        except CheckpointError:
+            self.discard(index)
+            self.corrupt_evictions += 1
+            return None
+
+    def resumable_indices(self) -> List[int]:
+        """Completed shard indices whose payloads actually load.
+
+        Validates each persisted shard (loading and discarding it, one
+        at a time — constant memory); corrupt ones are evicted so the
+        engine schedules them as fresh work.
+        """
+        return [
+            index
+            for index in self.completed_indices()
+            if self.load_resumable(index) is not None
+        ]
+
+    def discard(self, index: int) -> None:
+        """Remove one persisted shard file (eviction/spill cleanup)."""
+        try:
+            self.shard_path(index).unlink()
+        except OSError:
+            pass
 
     # -- plumbing ----------------------------------------------------------
 

@@ -1,47 +1,78 @@
-"""The fleet engine: shard, execute, reduce, report.
+"""The fleet engine: shard, execute, stream-reduce, report.
 
 :class:`FleetEngine` drives one :class:`~repro.fleet.spec.FleetSpec`
 end to end: build the shipped profile once, deal devices into shards,
 run the shards on any :class:`~repro.fleet.executors.FleetExecutor`
-(serial or multiprocess — same results either way), persist each shard
-into the checkpoint store as it lands, and reduce the shard outputs in
-canonical device order into a :class:`FleetReport` whose rendering is
-byte-identical across ``--jobs`` settings, shard sizes, and
+(serial, pool, or queue — same results either way), and **fold** each
+:class:`~repro.fleet.work.ShardResult` into the aggregates as the
+executor completes it. Results are consumed through
+:class:`~repro.fleet.reducers.FleetFold` strictly in shard-index order
+(a reorder buffer bridges completion order to fold order), then
+dropped — the engine never holds more than ``max_live_shards`` results
+in memory, so peak RSS is bounded by the shard size and the buffer,
+not the fleet size. Out-of-order results beyond the buffer spill to
+the checkpoint store (already persisted) or a temporary spill
+directory. The rendered :class:`FleetReport` stays byte-identical
+across ``--jobs`` settings, executors, shard sizes, and
 interrupt/resume cycles.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import resource
+import shutil
+import sys
+import tempfile
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Sequence, Set, Union
 
 from repro.core.config import SnipConfig
 from repro.core.package_cache import PackageCache
 from repro.core.profiler import CloudProfiler, SnipPackage
 from repro.core.table import SnipTable
+from repro.errors import FleetError
 from repro.fleet.checkpoint import CheckpointStore
 from repro.fleet.executors import (
     DEFAULT_RETRY_BUDGET,
     FleetExecutor,
     SerialExecutor,
 )
-from repro.errors import FleetError
-from repro.fleet.reducers import (
-    FleetTotals,
-    canonical_device_results,
-    reduce_census,
-    reduce_cohort_totals,
-    reduce_contributions,
-    reduce_energy,
-    reduce_totals,
-)
+from repro.fleet.reducers import FleetFold, FleetTotals
 from repro.fleet.spec import FleetSpec
-from repro.fleet.telemetry import RUN_FINISHED, RUN_STARTED, TelemetryBus
+from repro.fleet.telemetry import (
+    LIVE_SHARDS,
+    PEAK_RSS,
+    RUN_FINISHED,
+    RUN_STARTED,
+    TelemetryBus,
+)
 from repro.fleet.work import ShardResult, ShardTask, run_shard
 from repro.soc.component import ComponentGroup
 from repro.soc.energy import EnergyReport
 from repro.units import format_bytes
+
+#: Default cap on shard results held in memory awaiting their fold
+#: turn. Large enough that mild completion-order skew never touches
+#: disk, small enough to keep the reducer's footprint flat at any
+#: fleet size.
+DEFAULT_MAX_LIVE_SHARDS = 8
+
+
+def peak_rss_bytes() -> int:
+    """This process's resident-set high-water mark, in bytes.
+
+    Includes finished worker children (their peak counts toward the
+    sweep's footprint). ``ru_maxrss`` is kilobytes on Linux but bytes
+    on macOS.
+    """
+    scale = 1 if sys.platform == "darwin" else 1024
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(max(own, children) * scale)
 
 
 @dataclass
@@ -132,6 +163,96 @@ class FleetReport:
             )
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict:
+        """JSON-safe view of the deterministic aggregates."""
+        energy = None
+        if self.energy is not None:
+            energy = {
+                "total_joules": self.energy.total_joules,
+                "by_component": dict(self.energy.by_component),
+                "by_group": {
+                    group.value: joules
+                    for group, joules in self.energy.by_group.items()
+                },
+                "by_tag": dict(self.energy.by_tag),
+            }
+        # Shard size is a scheduling knob, not part of what was
+        # computed (spec.fingerprint() excludes it too); leaving it out
+        # keeps the JSON byte-identical across shard sizes.
+        spec_dict = dataclasses.asdict(self.spec)
+        spec_dict.pop("shard_size", None)
+        return {
+            "spec": spec_dict,
+            "totals": dataclasses.asdict(self.totals),
+            "savings": self.totals.savings,
+            "hit_rate": self.totals.hit_rate,
+            "coverage": self.totals.coverage,
+            "census": dict(self.census),
+            "energy": energy,
+            "table_entries": self.table_entries,
+            "table_bytes": self.table_bytes,
+            "uplink_bytes": self.uplink_bytes,
+            "cohorts": (
+                {
+                    cohort: dataclasses.asdict(totals)
+                    for cohort, totals in self.cohorts.items()
+                }
+                if self.cohorts is not None
+                else None
+            ),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (sorted keys, stable float repr).
+
+        Shares the text report's byte-identity guarantee across jobs,
+        executors, shard sizes, and resume cycles.
+        """
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+class _ShardTasks(SequenceABC):
+    """Lazily materialising task sequence for the executors.
+
+    Planning a million-device sweep must not allocate a million device
+    ids upfront: executors index payloads on submission, so each
+    :class:`ShardTask` (and its device-id range) is constructed on
+    demand and garbage-collected once the worker result lands.
+    """
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        indices: Sequence[int],
+        package: SnipPackage,
+        challenger: Optional[SnipPackage],
+        config: SnipConfig,
+    ) -> None:
+        self._spec = spec
+        self._indices = indices
+        self._package = package
+        self._challenger = challenger
+        self._config = config
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __getitem__(self, position: int) -> ShardTask:
+        shard = self._spec.shard_at(self._indices[position])
+        challenger = self._challenger
+        return ShardTask(
+            shard_index=shard.index,
+            spec=self._spec,
+            device_ids=shard.device_ids,
+            selection=self._package.selection,
+            table=self._package.table,
+            config=self._config,
+            challenger_selection=(
+                challenger.selection if challenger else None
+            ),
+            challenger_table=challenger.table if challenger else None,
+        )
+
 
 class FleetEngine:
     """Orchestrates one fleet simulation."""
@@ -147,6 +268,7 @@ class FleetEngine:
         cache: Union[PackageCache, None, str] = "auto",
         package: Optional[SnipPackage] = None,
         challenger: Optional[SnipPackage] = None,
+        max_live_shards: int = DEFAULT_MAX_LIVE_SHARDS,
     ) -> None:
         """``package``/``challenger`` inject pre-built artifacts.
 
@@ -154,7 +276,10 @@ class FleetEngine:
         packages from registered digests and passes them here; without
         an injected ``package`` the engine profiles its own from the
         spec's profile seeds. A spec with ``challenger_fraction > 0``
-        requires a ``challenger``.
+        requires a ``challenger``. ``max_live_shards`` caps the shard
+        results the reducer holds awaiting their fold turn; overflow
+        spills to the checkpoint store (already persisted) or a
+        temporary directory.
         """
         self.spec = spec
         self.executor = executor or SerialExecutor()
@@ -167,6 +292,11 @@ class FleetEngine:
         self.cache = cache
         self._package = package
         self.challenger = challenger
+        if max_live_shards < 1:
+            raise FleetError(
+                f"max_live_shards must be positive, got {max_live_shards}"
+            )
+        self.max_live_shards = max_live_shards
         if spec.challenger_fraction > 0 and challenger is None:
             raise FleetError(
                 "spec deals devices into a challenger cohort "
@@ -196,83 +326,143 @@ class FleetEngine:
     # -- execution ---------------------------------------------------------
 
     def run(self) -> FleetReport:
-        """Execute the sweep (resuming any checkpointed shards) and reduce."""
+        """Execute the sweep (resuming checkpointed shards), fold, report.
+
+        Results are folded in shard-index order as they complete; each
+        is dropped (or spilled to disk) immediately after folding, so
+        memory stays bounded by ``max_live_shards`` however large the
+        fleet is.
+        """
         spec = self.spec
         package = self.build_package()
-        shards = spec.shards()
-        done: Dict[int, ShardResult] = {}
+        fold = FleetFold(spec, package.selection, self.config)
+        on_disk: Set[int] = set()
+        corrupt = 0
         if self.checkpoint is not None:
             self.checkpoint.initialise(spec)
-            for index in self.checkpoint.completed_indices():
-                done[index] = self.checkpoint.load(index)
-        remaining = [shard for shard in shards if shard.index not in done]
+            before = self.checkpoint.corrupt_evictions
+            on_disk.update(self.checkpoint.resumable_indices())
+            corrupt = self.checkpoint.corrupt_evictions - before
+        remaining = [
+            index for index in range(spec.shard_count) if index not in on_disk
+        ]
         self.telemetry.emit(
             RUN_STARTED,
             devices=spec.devices,
-            shards=len(shards),
-            resumed=len(done),
+            shards=spec.shard_count,
+            resumed=len(on_disk),
+            corrupt_evictions=corrupt,
             jobs=self.executor.jobs,
         )
-        challenger = self.challenger
-        tasks = [
-            ShardTask(
-                shard_index=shard.index,
-                spec=spec,
-                device_ids=shard.device_ids,
-                selection=package.selection,
-                table=package.table,
-                config=self.config,
-                challenger_selection=(
-                    challenger.selection if challenger else None
-                ),
-                challenger_table=challenger.table if challenger else None,
-            )
-            for shard in remaining
-        ]
-
-        def _persist(position: int, result: ShardResult) -> None:
-            if self.checkpoint is not None:
-                self.checkpoint.save(result)
-
-        fresh = self.executor.run(
-            run_shard,
-            tasks,
-            telemetry=self.telemetry,
-            on_result=_persist,
-            retry_budget=self.retry_budget,
+        tasks = _ShardTasks(
+            spec, remaining, package, self.challenger, self.config
         )
-        for result in fresh:
-            done[result.shard_index] = result
-        report = self._reduce(list(done.values()))
+        buffer: Dict[int, ShardResult] = {}
+        self._spill: Optional[CheckpointStore] = None
+        self._spill_dir: Optional[str] = None
+        try:
+            stream = self.executor.stream(
+                run_shard,
+                tasks,
+                telemetry=self.telemetry,
+                retry_budget=self.retry_budget,
+            )
+            for _, result in stream:
+                if self.checkpoint is not None:
+                    self.checkpoint.save(result)
+                buffer[result.shard_index] = result
+                self._drain(fold, buffer, on_disk)
+                self._enforce_buffer_cap(buffer, on_disk)
+                self.telemetry.emit(LIVE_SHARDS, count=len(buffer))
+                self.telemetry.emit(PEAK_RSS, bytes=peak_rss_bytes())
+            # Anything still unfolded sits on disk (resumed shards past
+            # the last fresh one, or spilled stragglers).
+            self._drain(fold, buffer, on_disk)
+            reduction = fold.finalize()
+        finally:
+            if self._spill_dir is not None:
+                shutil.rmtree(self._spill_dir, ignore_errors=True)
+                self._spill = None
+                self._spill_dir = None
+        fleet_table, uplink = (
+            reduction.federated if reduction.federated else (None, 0)
+        )
+        report = FleetReport(
+            spec=spec,
+            totals=reduction.totals,
+            census=reduction.census,
+            energy=reduction.energy,
+            fleet_table=fleet_table,
+            uplink_bytes=uplink,
+            cohorts=reduction.cohorts,
+        )
+        self.telemetry.emit(PEAK_RSS, bytes=peak_rss_bytes())
         self.telemetry.emit(
             RUN_FINISHED,
             events=self.telemetry.counters.events_processed,
             events_per_second=self.telemetry.events_per_second(),
             failures=self.telemetry.counters.worker_failures,
+            peak_live_shards=self.telemetry.counters.peak_live_shards,
+            peak_queue_depth=self.telemetry.counters.peak_queue_depth,
+            peak_rss_bytes=self.telemetry.counters.peak_rss_bytes,
         )
         return report
 
-    # -- reduction ---------------------------------------------------------
+    # -- streaming fold plumbing -------------------------------------------
 
-    def _reduce(self, shard_results: List[ShardResult]) -> FleetReport:
-        package = self.build_package()
-        devices = canonical_device_results(shard_results, self.spec)
-        totals = reduce_totals(devices)
-        federated = reduce_contributions(devices, package.selection, self.config)
-        fleet_table, uplink = federated if federated else (None, 0)
-        return FleetReport(
-            spec=self.spec,
-            totals=totals,
-            census=reduce_census(devices),
-            energy=reduce_energy(devices),
-            fleet_table=fleet_table,
-            uplink_bytes=uplink,
-            cohorts=(
-                reduce_cohort_totals(devices)
-                if self.spec.challenger_fraction > 0
-                else None
-            ),
-        )
+    def _drain(
+        self,
+        fold: FleetFold,
+        buffer: Dict[int, ShardResult],
+        on_disk: Set[int],
+    ) -> None:
+        """Fold every shard that is ready, in strict index order."""
+        while not fold.complete:
+            index = fold.next_index
+            if index in buffer:
+                fold.fold(buffer.pop(index))
+            elif index in on_disk:
+                fold.fold(self._fetch(index))
+                on_disk.discard(index)
+            else:
+                return
+
+    def _enforce_buffer_cap(
+        self, buffer: Dict[int, ShardResult], on_disk: Set[int]
+    ) -> None:
+        """Spill the furthest-from-fold results past ``max_live_shards``.
+
+        The largest buffered index is the last one the fold will want,
+        so evicting it keeps the shards about to fold in memory. With a
+        checkpoint configured the result is already persisted — spilling
+        is just forgetting the in-memory copy.
+        """
+        while len(buffer) > self.max_live_shards:
+            index = max(buffer)
+            result = buffer.pop(index)
+            if self.checkpoint is None:
+                self._spill_store().save(result)
+            on_disk.add(index)
+
+    def _spill_store(self) -> CheckpointStore:
+        """The temp store backing spills on checkpoint-less runs."""
+        if self._spill is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="fleet-spill-")
+            self._spill = CheckpointStore(self._spill_dir)
+            self._spill.shard_dir.mkdir(parents=True, exist_ok=True)
+        return self._spill
+
+    def _fetch(self, index: int) -> ShardResult:
+        """Re-load one spilled or checkpointed shard for folding."""
+        store = self.checkpoint if self.checkpoint is not None else self._spill
+        if store is None:
+            raise FleetError(
+                f"shard {index} is marked on disk but no store holds it"
+            )
+        result = store.load(index)
+        if store is self._spill:
+            store.discard(index)
+        return result
 
 
 def run_fleet(
@@ -281,6 +471,7 @@ def run_fleet(
     config: Optional[SnipConfig] = None,
     telemetry: Optional[TelemetryBus] = None,
     checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
+    max_live_shards: int = DEFAULT_MAX_LIVE_SHARDS,
 ) -> FleetReport:
     """Convenience one-shot: build an engine and run it."""
     return FleetEngine(
@@ -289,4 +480,5 @@ def run_fleet(
         config=config,
         telemetry=telemetry,
         checkpoint=checkpoint,
+        max_live_shards=max_live_shards,
     ).run()

@@ -1,23 +1,38 @@
-"""Execution backends for fleet work: serial and multiprocessing.
+"""Execution backends for fleet work: serial, pool, and bounded queue.
 
-Both executors implement the same contract: run a picklable function
-over an indexed list of payloads and return the results *in payload
-order*, regardless of completion order. Failures are retried against a
-capped, run-wide retry budget; exhausting it raises
-:class:`~repro.errors.WorkerCrashError`. Because results are slotted by
-index and every payload is self-contained, the choice of executor (and
-the number of workers) can never change what a fleet run computes —
-only how fast it computes it.
+Every executor implements the same contract: run a picklable function
+over an indexed sequence of payloads and **stream** ``(index, result)``
+pairs back in completion order. Failures are retried against a capped,
+run-wide retry budget; exhausting it raises
+:class:`~repro.errors.WorkerCrashError`. Because every payload is
+self-contained and results carry their index, the choice of executor
+(and the number of workers) can never change what a fleet run computes
+— only how fast, and in what order, it computes it. Consumers that
+need payload-ordered lists use :meth:`FleetExecutor.run`, which slots
+the stream by index.
+
+:class:`QueueFleetExecutor` is the fleet-scale backend: it keeps a
+bounded submission window (``jobs * prefetch``) over the payload
+sequence instead of materialising every future upfront, so a million-
+device sweep holds only the in-flight tasks in memory, and it reports
+its backlog through ``queue_depth`` telemetry gauges.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import FleetError, WorkerCrashError
 from repro.fleet.telemetry import (
+    QUEUE_DEPTH,
     SHARD_FINISHED,
     SHARD_RETRIED,
     SHARD_STARTED,
@@ -28,12 +43,34 @@ from repro.fleet.telemetry import (
 #: Default cap on retries across one whole run (not per payload).
 DEFAULT_RETRY_BUDGET = 3
 
+#: Default submitted-but-unreduced window per worker for the queue
+#: executor: enough to keep workers busy while the reducer folds,
+#: small enough that in-flight results stay bounded.
+DEFAULT_PREFETCH = 2
+
 
 class FleetExecutor:
     """Contract shared by every execution backend."""
 
     #: Worker parallelism the backend provides.
     jobs: int = 1
+
+    def stream(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        telemetry: Optional[TelemetryBus] = None,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+    ) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(index, result)`` pairs in completion order.
+
+        This is the primitive the streaming engine consumes: results
+        surface as workers finish them, so the caller can fold and
+        drop each one instead of collecting the whole sweep. Payloads
+        may be any sequence — including a lazily materialising one —
+        and are only indexed when (re)submitted.
+        """
+        raise NotImplementedError
 
     def run(
         self,
@@ -46,10 +83,18 @@ class FleetExecutor:
         """Run ``fn`` over ``payloads``; results ordered by payload index.
 
         ``on_result(index, result)`` fires as each result lands (in
-        completion order — used for incremental checkpointing), while
-        the returned list is always index-ordered.
+        completion order), while the returned list is always
+        index-ordered. Materialises every result — callers that can
+        fold incrementally should consume :meth:`stream` instead.
         """
-        raise NotImplementedError
+        results: List[Any] = [None] * len(payloads)
+        for index, result in self.stream(
+            fn, payloads, telemetry=telemetry, retry_budget=retry_budget
+        ):
+            results[index] = result
+            if on_result:
+                on_result(index, result)
+        return results
 
 
 class _RetryBudget:
@@ -70,31 +115,30 @@ class _RetryBudget:
 
 
 class SerialExecutor(FleetExecutor):
-    """In-process fallback sharing the pool executor's interface.
+    """In-process fallback sharing the pool executors' interface.
 
     Used for ``--jobs 1``, for environments without usable process
-    pools, and as the determinism reference the parallel path is
+    pools, and as the determinism reference the parallel paths are
     byte-compared against.
     """
 
     jobs = 1
 
-    def run(
+    def stream(
         self,
         fn: Callable[[Any], Any],
         payloads: Sequence[Any],
         telemetry: Optional[TelemetryBus] = None,
-        on_result: Optional[Callable[[int, Any], None]] = None,
         retry_budget: int = DEFAULT_RETRY_BUDGET,
-    ) -> List[Any]:
+    ) -> Iterator[Tuple[int, Any]]:
         budget = _RetryBudget(retry_budget)
-        results: List[Any] = [None] * len(payloads)
-        for index, payload in enumerate(payloads):
+        total = len(payloads)
+        for index in range(total):
             while True:
                 if telemetry:
                     telemetry.emit(SHARD_STARTED, shard_index=index)
                 try:
-                    result = fn(payload)
+                    result = fn(payloads[index])
                 except Exception as exc:
                     budget.spend(index, exc)
                     if telemetry:
@@ -103,17 +147,17 @@ class SerialExecutor(FleetExecutor):
                         )
                         telemetry.emit(SHARD_RETRIED, shard_index=index)
                     continue
-                results[index] = result
                 _announce(telemetry, index, result)
-                if on_result:
-                    on_result(index, result)
+                if telemetry:
+                    telemetry.emit(QUEUE_DEPTH, depth=total - index - 1)
+                yield index, result
                 break
-        return results
 
 
 class ProcessFleetExecutor(FleetExecutor):
-    """``multiprocessing``-backed pool executor.
+    """``multiprocessing``-backed pool executor (eager submission).
 
+    Submits every payload upfront and streams results as they land.
     Survives both worker exceptions (the payload is resubmitted) and
     whole-pool crashes (the pool is rebuilt and every unfinished payload
     resubmitted), each charged against the shared retry budget.
@@ -127,17 +171,16 @@ class ProcessFleetExecutor(FleetExecutor):
             )
         self.jobs = jobs
 
-    def run(
+    def stream(
         self,
         fn: Callable[[Any], Any],
         payloads: Sequence[Any],
         telemetry: Optional[TelemetryBus] = None,
-        on_result: Optional[Callable[[int, Any], None]] = None,
         retry_budget: int = DEFAULT_RETRY_BUDGET,
-    ) -> List[Any]:
+    ) -> Iterator[Tuple[int, Any]]:
         budget = _RetryBudget(retry_budget)
-        results: List[Any] = [None] * len(payloads)
         pending = list(range(len(payloads)))
+        completed: set = set()
         while pending:
             try:
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
@@ -147,8 +190,10 @@ class ProcessFleetExecutor(FleetExecutor):
                         if telemetry:
                             telemetry.emit(SHARD_STARTED, shard_index=index)
                     failed: List[int] = []
+                    outstanding = len(futures)
                     for future in as_completed(futures):
                         index = futures[future]
+                        outstanding -= 1
                         try:
                             result = future.result()
                         except BrokenProcessPool:
@@ -162,10 +207,13 @@ class ProcessFleetExecutor(FleetExecutor):
                                 telemetry.emit(SHARD_RETRIED, shard_index=index)
                             failed.append(index)
                             continue
-                        results[index] = result
+                        completed.add(index)
                         _announce(telemetry, index, result)
-                        if on_result:
-                            on_result(index, result)
+                        if telemetry:
+                            telemetry.emit(
+                                QUEUE_DEPTH, depth=outstanding + len(failed)
+                            )
+                        yield index, result
                     pending = failed
             except BrokenProcessPool as exc:
                 # A worker died hard (OOM-kill, segfault): every
@@ -173,12 +221,102 @@ class ProcessFleetExecutor(FleetExecutor):
                 # resubmit whatever has no result yet, charging one
                 # retry for the crash rather than one per casualty.
                 budget.spend(None, exc)
-                pending = [index for index in pending if results[index] is None]
+                pending = [index for index in pending if index not in completed]
                 if telemetry:
                     telemetry.emit(WORKER_FAILURE, error="process pool crashed")
                     for index in pending:
                         telemetry.emit(SHARD_RETRIED, shard_index=index)
-        return results
+
+
+class QueueFleetExecutor(FleetExecutor):
+    """Queue-fed pool executor with a bounded in-flight window.
+
+    Payloads are drawn from a FIFO backlog and at most
+    ``jobs * prefetch`` are submitted at once, so neither the futures
+    table nor the unreduced results can grow with the sweep size —
+    the backend the million-device benchmark runs on. Failed payloads
+    rejoin the backlog (charged to the shared retry budget) and pool
+    crashes rebuild the pool and resubmit the in-flight window, same
+    recovery semantics as :class:`ProcessFleetExecutor`. Emits
+    ``queue_depth`` gauges so the telemetry bus tracks how deep the
+    unprocessed queue ran.
+    """
+
+    def __init__(self, jobs: int, prefetch: int = DEFAULT_PREFETCH) -> None:
+        if jobs < 1:
+            raise FleetError(f"QueueFleetExecutor needs jobs >= 1, got {jobs}")
+        if prefetch < 1:
+            raise FleetError(f"prefetch must be positive, got {prefetch}")
+        self.jobs = jobs
+        self.prefetch = prefetch
+
+    @property
+    def window(self) -> int:
+        """Most payloads submitted-but-unreduced at any moment."""
+        return self.jobs * self.prefetch
+
+    def stream(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        telemetry: Optional[TelemetryBus] = None,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+    ) -> Iterator[Tuple[int, Any]]:
+        budget = _RetryBudget(retry_budget)
+        backlog = deque(range(len(payloads)))
+        completed: set = set()
+        while backlog:
+            inflight: dict = {}
+            try:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    while backlog or inflight:
+                        while backlog and len(inflight) < self.window:
+                            index = backlog.popleft()
+                            inflight[pool.submit(fn, payloads[index])] = index
+                            if telemetry:
+                                telemetry.emit(SHARD_STARTED, shard_index=index)
+                        if telemetry:
+                            telemetry.emit(
+                                QUEUE_DEPTH, depth=len(inflight) + len(backlog)
+                            )
+                        done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            index = inflight.pop(future)
+                            try:
+                                result = future.result()
+                            except BrokenProcessPool:
+                                raise
+                            except Exception as exc:
+                                budget.spend(index, exc)
+                                if telemetry:
+                                    telemetry.emit(
+                                        WORKER_FAILURE,
+                                        shard_index=index,
+                                        error=repr(exc),
+                                    )
+                                    telemetry.emit(
+                                        SHARD_RETRIED, shard_index=index
+                                    )
+                                backlog.append(index)
+                                continue
+                            completed.add(index)
+                            _announce(telemetry, index, result)
+                            yield index, result
+            except BrokenProcessPool as exc:
+                budget.spend(None, exc)
+                casualties = sorted(
+                    index
+                    for index in inflight.values()
+                    if index not in completed
+                )
+                # Put the crashed window back at the head of the queue
+                # so recovery re-runs the oldest work first.
+                for index in reversed(casualties):
+                    backlog.appendleft(index)
+                if telemetry:
+                    telemetry.emit(WORKER_FAILURE, error="process pool crashed")
+                    for index in casualties:
+                        telemetry.emit(SHARD_RETRIED, shard_index=index)
 
 
 def _announce(telemetry: Optional[TelemetryBus], index: int, result: Any) -> None:
@@ -197,10 +335,26 @@ def _announce(telemetry: Optional[TelemetryBus], index: int, result: Any) -> Non
     telemetry.emit(SHARD_FINISHED, shard_index=index, **payload)
 
 
-def make_executor(jobs: int) -> FleetExecutor:
-    """The executor for a ``--jobs N`` request."""
+def make_executor(jobs: int, kind: str = "auto") -> FleetExecutor:
+    """The executor for a ``--jobs N`` (and ``--executor KIND``) request.
+
+    ``auto`` keeps the historical dispatch: serial for one job, the
+    eager process pool otherwise. ``queue`` selects the bounded-window
+    :class:`QueueFleetExecutor` at any job count.
+    """
     if jobs < 1:
         raise FleetError(f"jobs must be positive, got {jobs}")
-    if jobs == 1:
+    if kind == "auto":
+        return SerialExecutor() if jobs == 1 else ProcessFleetExecutor(jobs)
+    if kind == "serial":
+        if jobs != 1:
+            raise FleetError(f"serial executor runs one job, got --jobs {jobs}")
         return SerialExecutor()
-    return ProcessFleetExecutor(jobs)
+    if kind == "process":
+        return ProcessFleetExecutor(jobs)
+    if kind == "queue":
+        return QueueFleetExecutor(jobs)
+    raise FleetError(
+        f"unknown executor kind {kind!r}; "
+        "expected auto, serial, process, or queue"
+    )

@@ -15,7 +15,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.errors import FleetError
 from repro.games.registry import GAME_NAMES
@@ -172,14 +172,30 @@ class FleetSpec:
         """How many shards the device population splits into."""
         return (self.devices + self.shard_size - 1) // self.shard_size
 
-    def shards(self) -> List["Shard"]:
-        """Deal device ids into contiguous shards."""
-        plan = []
+    def shard_at(self, index: int) -> "Shard":
+        """The shard holding one contiguous slice of the population.
+
+        A pure function of ``(spec, index)``, so the streaming engine
+        can materialise shards one at a time instead of planning the
+        whole sweep upfront — at 10^6 devices the full plan is the
+        first thing that must not live in memory.
+        """
+        if not 0 <= index < self.shard_count:
+            raise FleetError(
+                f"shard index {index} outside 0..{self.shard_count - 1}"
+            )
+        start = index * self.shard_size
+        stop = min(start + self.shard_size, self.devices)
+        return Shard(index=index, device_ids=tuple(range(start, stop)))
+
+    def iter_shards(self) -> Iterator["Shard"]:
+        """Deal device ids into contiguous shards, one at a time."""
         for index in range(self.shard_count):
-            start = index * self.shard_size
-            stop = min(start + self.shard_size, self.devices)
-            plan.append(Shard(index=index, device_ids=tuple(range(start, stop))))
-        return plan
+            yield self.shard_at(index)
+
+    def shards(self) -> List["Shard"]:
+        """Every shard, materialised (prefer :meth:`iter_shards` at scale)."""
+        return list(self.iter_shards())
 
 
 @dataclass(frozen=True)

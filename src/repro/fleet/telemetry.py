@@ -11,8 +11,9 @@ between runs of the same spec.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
 
 #: Event kinds the engine/executors emit.
 RUN_STARTED = "run_started"
@@ -21,6 +22,15 @@ SHARD_FINISHED = "shard_finished"
 SHARD_RETRIED = "shard_retried"
 WORKER_FAILURE = "worker_failure"
 RUN_FINISHED = "run_finished"
+#: Gauge kinds — instantaneous values whose peaks the bus tracks.
+#: ``queue_depth`` (payload ``depth``): work submitted or backlogged
+#: but not yet reduced, emitted by the executors; ``live_shards``
+#: (payload ``count``): shard results the engine holds in memory;
+#: ``peak_rss_bytes`` (payload ``bytes``): the process's resident-set
+#: high-water mark sampled by the engine.
+QUEUE_DEPTH = "queue_depth"
+LIVE_SHARDS = "live_shards"
+PEAK_RSS = "peak_rss_bytes"
 
 
 @dataclass(frozen=True)
@@ -43,6 +53,12 @@ class FleetCounters:
     events_processed: int = 0
     worker_failures: int = 0
     retries: int = 0
+    #: High-water marks of the streaming gauges (see QUEUE_DEPTH,
+    #: LIVE_SHARDS, PEAK_RSS): deepest executor queue, most shard
+    #: results held live by the engine, largest resident set sampled.
+    peak_queue_depth: int = 0
+    peak_live_shards: int = 0
+    peak_rss_bytes: int = 0
 
     @property
     def shards_pending(self) -> int:
@@ -58,18 +74,25 @@ class TelemetryBus:
     clock:
         Monotonic time source; injectable so tests can assert
         throughput math without sleeping.
+    history_limit:
+        Cap on retained events; older ones are discarded once the
+        buffer fills. ``None`` (the default) keeps everything — fleet-
+        scale sweeps should bound it so telemetry, like the reducer,
+        stays constant-memory. Counters are unaffected either way.
     """
 
     # Wall-clock default is the point of the bus: throughput display is
     # observability-only and excluded from the deterministic report.
     def __init__(
-        self, clock: Callable[[], float] = time.monotonic  # lint: ignore[det-wallclock]
+        self,
+        clock: Callable[[], float] = time.monotonic,  # lint: ignore[det-wallclock]
+        history_limit: Optional[int] = None,
     ) -> None:
         self._clock = clock
         self._start = clock()
         self._subscribers: List[Callable[[TelemetryEvent], None]] = []
         self.counters = FleetCounters()
-        self.history: List[TelemetryEvent] = []
+        self.history: Deque[TelemetryEvent] = deque(maxlen=history_limit)
 
     # -- subscription ------------------------------------------------------
 
@@ -99,6 +122,18 @@ class TelemetryBus:
             self.counters.worker_failures += 1
         elif kind == SHARD_RETRIED:
             self.counters.retries += 1
+        elif kind == QUEUE_DEPTH:
+            self.counters.peak_queue_depth = max(
+                self.counters.peak_queue_depth, int(payload.get("depth", 0))
+            )
+        elif kind == LIVE_SHARDS:
+            self.counters.peak_live_shards = max(
+                self.counters.peak_live_shards, int(payload.get("count", 0))
+            )
+        elif kind == PEAK_RSS:
+            self.counters.peak_rss_bytes = max(
+                self.counters.peak_rss_bytes, int(payload.get("bytes", 0))
+            )
         self.history.append(event)
         for subscriber in self._subscribers:
             subscriber(event)
@@ -126,6 +161,9 @@ class TelemetryBus:
             "events_processed": self.counters.events_processed,
             "worker_failures": self.counters.worker_failures,
             "retries": self.counters.retries,
+            "peak_queue_depth": self.counters.peak_queue_depth,
+            "peak_live_shards": self.counters.peak_live_shards,
+            "peak_rss_bytes": self.counters.peak_rss_bytes,
             "events_per_second": self.events_per_second(),
         }
 

@@ -17,7 +17,7 @@ from typing import List, Optional, Tuple
 
 from repro.android.dispatch import EventLoop
 from repro.core.config import SnipConfig
-from repro.core.federated import DeviceContribution, build_device_contribution
+from repro.core.federated import ContributionBuilder, DeviceContribution
 from repro.core.runtime import SnipRuntime
 from repro.core.selection import SelectedInputs
 from repro.core.table import SnipTable
@@ -143,15 +143,23 @@ def run_device(
         sessions=spec.sessions_per_device,
         cohort=cohort,
     )
-    traces = [
-        population.user_trace(spec.game_name, device_id, session, spec.duration_s)
-        for session in range(spec.sessions_per_device)
-    ]
-    result.events = sum(len(trace) for trace in traces)
-    result.raw_uplink_bytes = sum(trace.uplink_bytes for trace in traces)
-    if spec.measure_energy:
-        session_reports = []
-        for trace in traces:
+    # Sessions stream one trace at a time: each is generated, replayed
+    # through every consumer (SNIP pass, baseline pass, contribution
+    # fold), and dropped — peak memory per device is one session's
+    # events, never the whole session list.
+    builder = (
+        ContributionBuilder(device_id, spec.game_name, selection)
+        if spec.federate and cohort == COHORT_CHAMPION
+        else None
+    )
+    session_reports = []
+    traces = population.iter_user_traces(
+        spec.game_name, device_id, spec.sessions_per_device, spec.duration_s
+    )
+    for session, trace in enumerate(traces):
+        result.events += len(trace)
+        result.raw_uplink_bytes += trace.uplink_bytes
+        if spec.measure_energy:
             effective_s = spec.duration_s * archetype.session_scale
             # The SNIP pass: shipped table (private copy, so online
             # learning stays per-session), full probe accounting.
@@ -170,11 +178,12 @@ def run_device(
             loop = EventLoop(base_soc, base_game)
             _replay_through(loop, trace, effective_s, base_soc)
             result.baseline_joules += base_soc.meter.total_joules
+        if builder is not None:
+            builder.add_session(trace, session)
+    if spec.measure_energy:
         result.report = merge_reports(session_reports)
-    if spec.federate and cohort == COHORT_CHAMPION:
-        result.contribution = build_device_contribution(
-            device_id, spec.game_name, traces, selection
-        )
+    if builder is not None:
+        result.contribution = builder.finish()
     return result
 
 

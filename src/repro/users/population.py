@@ -12,7 +12,7 @@ users) have heterogeneous but reproducible inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.android.events import Event
 from repro.android.tracing import EventTracer, RecordedTrace
@@ -114,6 +114,22 @@ class Population:
         for event in assemble_events(game_name, gestures, effective):
             tracer.record(event)
         return tracer.trace
+
+    def iter_user_traces(
+        self, game_name: str, user_id: int, sessions: int, duration_s: float
+    ) -> Iterator[RecordedTrace]:
+        """Stream one user's recorded sessions, one trace at a time.
+
+        The fleet's memory-frugal device loop consumes this instead of
+        materialising every session upfront: each yielded trace is
+        replayed and dropped before the next is generated, so peak
+        memory per device is one session's events regardless of
+        ``sessions``. Each trace is a pure function of
+        ``(seed, game, user, session)`` — identical to indexing into
+        the batch list.
+        """
+        for session in range(sessions):
+            yield self.user_trace(game_name, user_id, session, duration_s)
 
     def census(self, user_count: int) -> Dict[str, int]:
         """How many of the first N users land in each archetype."""

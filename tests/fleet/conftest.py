@@ -38,3 +38,23 @@ def small_package(small_spec):
         seeds=list(small_spec.profile_seeds),
         duration_s=small_spec.profile_duration_s,
     )
+
+
+@pytest.fixture(scope="session")
+def small_shards(small_spec, small_package):
+    """Every shard of ``small_spec``, simulated once for reducer tests."""
+    from repro.fleet.work import ShardTask, run_shard
+
+    return [
+        run_shard(
+            ShardTask(
+                shard_index=shard.index,
+                spec=small_spec,
+                device_ids=shard.device_ids,
+                selection=small_package.selection,
+                table=small_package.table,
+                config=SnipConfig(),
+            )
+        )
+        for shard in small_spec.iter_shards()
+    ]

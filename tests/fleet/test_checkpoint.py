@@ -12,27 +12,20 @@ from repro.fleet.work import run_shard
 
 
 class InterruptingExecutor(SerialExecutor):
-    """Serial executor that dies after completing ``limit`` payloads —
+    """Serial executor that dies after streaming ``limit`` payloads —
     the test's stand-in for ctrl-C / power loss mid-sweep."""
 
     def __init__(self, limit: int) -> None:
         self.limit = limit
 
-    def run(self, fn, payloads, telemetry=None, on_result=None, retry_budget=3):
-        done = 0
-
-        def counting(index, result):
-            nonlocal done
-            if on_result:
-                on_result(index, result)
-            done += 1
-            if done >= self.limit:
-                raise KeyboardInterrupt("simulated interrupt")
-
-        return super().run(
-            fn, payloads, telemetry=telemetry,
-            on_result=counting, retry_budget=retry_budget,
+    def stream(self, fn, payloads, telemetry=None, retry_budget=3):
+        inner = super().stream(
+            fn, payloads, telemetry=telemetry, retry_budget=retry_budget
         )
+        for count, item in enumerate(inner):
+            if count >= self.limit:
+                raise KeyboardInterrupt("simulated interrupt")
+            yield item
 
 
 def test_initialise_writes_manifest_and_accepts_same_spec(tmp_path, small_spec):

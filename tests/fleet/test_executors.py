@@ -14,10 +14,11 @@ import pytest
 from repro.errors import FleetError, WorkerCrashError
 from repro.fleet.executors import (
     ProcessFleetExecutor,
+    QueueFleetExecutor,
     SerialExecutor,
     make_executor,
 )
-from repro.fleet.telemetry import TelemetryBus
+from repro.fleet.telemetry import QUEUE_DEPTH, TelemetryBus
 
 
 def _square(value):
@@ -53,6 +54,25 @@ def test_make_executor_dispatch():
         make_executor(0)
     with pytest.raises(FleetError):
         ProcessFleetExecutor(1)
+
+
+def test_make_executor_kinds():
+    assert isinstance(make_executor(1, kind="serial"), SerialExecutor)
+    assert isinstance(make_executor(2, kind="process"), ProcessFleetExecutor)
+    queue = make_executor(2, kind="queue")
+    assert isinstance(queue, QueueFleetExecutor)
+    assert queue.jobs == 2
+    # Queue works even single-worker (the window still bounds memory).
+    assert isinstance(make_executor(1, kind="queue"), QueueFleetExecutor)
+    with pytest.raises(FleetError, match="one job"):
+        make_executor(4, kind="serial")
+    with pytest.raises(FleetError, match="unknown executor kind"):
+        make_executor(2, kind="threads")
+
+
+def test_stream_yields_indexed_results():
+    pairs = list(SerialExecutor().stream(_square, [3, 1, 2]))
+    assert pairs == [(0, 9), (1, 1), (2, 4)]
 
 
 def test_serial_returns_results_in_payload_order():
@@ -116,5 +136,55 @@ def test_process_pool_retries_worker_exceptions(tmp_path):
 
 def test_process_pool_raises_when_budget_exhausted():
     executor = ProcessFleetExecutor(2)
+    with pytest.raises(WorkerCrashError, match="retry budget exhausted"):
+        executor.run(_always_fails, [1, 2], retry_budget=1)
+
+
+def test_queue_executor_window_bounds_submission():
+    executor = QueueFleetExecutor(jobs=2, prefetch=3)
+    assert executor.window == 6
+    with pytest.raises(FleetError):
+        QueueFleetExecutor(0)
+    with pytest.raises(FleetError):
+        QueueFleetExecutor(2, prefetch=0)
+
+
+def test_queue_executor_orders_results_despite_completion_order():
+    executor = QueueFleetExecutor(jobs=3)
+    payloads = [(4, 0.3), (3, 0.15), (2, 0.0)]
+    results = executor.run(_slow_square, payloads)
+    assert results == [16, 9, 4]
+
+
+def test_queue_executor_emits_queue_depth_within_window():
+    executor = QueueFleetExecutor(jobs=2, prefetch=2)
+    telemetry = TelemetryBus()
+    results = executor.run(_square, list(range(9)), telemetry=telemetry)
+    assert results == [v * v for v in range(9)]
+    depths = [
+        event.payload["depth"]
+        for event in telemetry.history
+        if event.kind == QUEUE_DEPTH
+    ]
+    assert depths, "queue executor must report its backlog"
+    assert telemetry.counters.peak_queue_depth == max(depths)
+
+
+def test_queue_executor_retries_worker_exceptions(tmp_path):
+    executor = QueueFleetExecutor(jobs=2)
+    telemetry = TelemetryBus()
+    results = executor.run(
+        _flaky,
+        [(2, tmp_path), (3, tmp_path), (4, tmp_path)],
+        telemetry=telemetry,
+        retry_budget=3,
+    )
+    assert results == [4, 9, 16]
+    assert telemetry.counters.worker_failures == 3
+    assert telemetry.counters.retries == 3
+
+
+def test_queue_executor_raises_when_budget_exhausted():
+    executor = QueueFleetExecutor(jobs=2)
     with pytest.raises(WorkerCrashError, match="retry budget exhausted"):
         executor.run(_always_fails, [1, 2], retry_budget=1)

@@ -5,6 +5,9 @@ from __future__ import annotations
 import io
 
 from repro.fleet.telemetry import (
+    LIVE_SHARDS,
+    PEAK_RSS,
+    QUEUE_DEPTH,
     RUN_FINISHED,
     RUN_STARTED,
     SHARD_FINISHED,
@@ -58,7 +61,53 @@ def test_subscribers_see_every_event_and_history_records_them():
     bus.emit(RUN_STARTED, shards=1)
     bus.emit(SHARD_FINISHED, shard_index=0, events=1)
     assert [event.kind for event in seen] == [RUN_STARTED, SHARD_FINISHED]
-    assert bus.history == seen
+    assert list(bus.history) == seen
+
+
+def test_gauges_track_high_water_marks():
+    bus = TelemetryBus(clock=FakeClock())
+    bus.emit(QUEUE_DEPTH, depth=3)
+    bus.emit(QUEUE_DEPTH, depth=7)
+    bus.emit(QUEUE_DEPTH, depth=2)  # falling edge must not lower the peak
+    bus.emit(LIVE_SHARDS, count=4)
+    bus.emit(LIVE_SHARDS, count=1)
+    bus.emit(PEAK_RSS, bytes=1_000_000)
+    bus.emit(PEAK_RSS, bytes=900_000)
+    counters = bus.counters
+    assert counters.peak_queue_depth == 7
+    assert counters.peak_live_shards == 4
+    assert counters.peak_rss_bytes == 1_000_000
+    snapshot = bus.snapshot()
+    assert snapshot["peak_queue_depth"] == 7
+    assert snapshot["peak_live_shards"] == 4
+    assert snapshot["peak_rss_bytes"] == 1_000_000
+
+
+def test_history_limit_bounds_retention_not_counters():
+    bus = TelemetryBus(clock=FakeClock(), history_limit=2)
+    for index in range(5):
+        bus.emit(SHARD_FINISHED, shard_index=index, events=10, devices=1)
+    assert len(bus.history) == 2
+    assert [event.shard_index for event in bus.history] == [3, 4]
+    assert bus.counters.shards_done == 5
+    assert bus.counters.events_processed == 50
+
+
+def test_fleet_engine_reports_gauges_through_the_bus(small_spec, small_package):
+    from repro.fleet import FleetEngine
+
+    bus = TelemetryBus()
+    FleetEngine(small_spec, package=small_package, cache=None, telemetry=bus).run()
+    kinds = [event.kind for event in bus.history]
+    assert QUEUE_DEPTH in kinds
+    assert LIVE_SHARDS in kinds
+    assert PEAK_RSS in kinds
+    assert bus.counters.peak_rss_bytes > 0
+    finished = next(
+        event for event in bus.history if event.kind == RUN_FINISHED
+    )
+    assert finished.payload["peak_rss_bytes"] == bus.counters.peak_rss_bytes
+    assert finished.payload["peak_live_shards"] == bus.counters.peak_live_shards
 
 
 def test_progress_printer_renders_lifecycle_lines():
