@@ -249,8 +249,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="files/directories to lint (default: the installed repro package)",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (json is what CI consumes)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (json is what CI consumes; sarif uploads "
+        "to GitHub code scanning)",
     )
     lint.add_argument(
         "--rules", default=None, metavar="ID[,ID...]",
@@ -263,6 +264,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--write-baseline", default=None, metavar="FILE",
         help="write the run's findings as a new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--prune", action="store_true",
+        help="with --baseline: rewrite the baseline file keeping only "
+        "the entries findings still consume",
+    )
+    lint.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="incremental-analysis cache file; unchanged files replay "
+        "their cached outcome instead of re-analysing",
     )
     lint.add_argument(
         "--list-rules", action="store_true",
@@ -484,9 +495,15 @@ def _cmd_lint(args, out) -> int:
     if args.rules:
         rule_ids = [chunk.strip() for chunk in args.rules.split(",")
                     if chunk.strip()]
+    if args.prune and not args.baseline:
+        print("lint error: --prune requires --baseline", file=sys.stderr)
+        return 2
     try:
         baseline = lint.load_baseline(args.baseline) if args.baseline else None
-        result = lint.lint_paths(paths, rule_ids=rule_ids, baseline=baseline)
+        cache = lint.AnalysisCache(args.cache) if args.cache else None
+        result = lint.lint_paths(
+            paths, rule_ids=rule_ids, baseline=baseline, cache=cache
+        )
     except LintError as exc:
         print(f"lint error: {exc}", file=sys.stderr)
         return 2
@@ -495,8 +512,25 @@ def _cmd_lint(args, out) -> int:
         print(f"wrote {args.write_baseline}: {written} accepted finding keys",
               file=out)
         return 0
-    renderer = lint.render_json if args.format == "json" else lint.render_text
-    print(renderer(result), file=out)
+    # Hygiene drift goes to stderr: visible in CI logs, invisible to
+    # anything parsing the report on stdout.
+    for key in result.stale_baseline:
+        print(f"lint: stale baseline entry: {key}", file=sys.stderr)
+    for s_path, s_line, s_rule in result.unused_suppressions:
+        where = f"{s_path}:{s_line}" if s_line is not None else s_path
+        print(f"lint: unused suppression: {where} [{s_rule}]",
+              file=sys.stderr)
+    if args.prune:
+        kept = lint.write_pruned_baseline(args.baseline, result)
+        dropped = len(result.stale_baseline)
+        print(f"pruned {args.baseline}: kept {kept} keys, "
+              f"dropped {dropped} stale", file=out)
+    renderers = {
+        "json": lint.render_json,
+        "sarif": lint.render_sarif,
+        "text": lint.render_text,
+    }
+    print(renderers[args.format](result), file=out)
     return 0 if result.clean else 1
 
 

@@ -135,6 +135,7 @@ class SerialExecutor(FleetExecutor):
         total = len(payloads)
         for index in range(total):
             while True:
+                started = telemetry.elapsed_seconds() if telemetry else 0.0
                 if telemetry:
                     telemetry.emit(SHARD_STARTED, shard_index=index)
                 try:
@@ -147,7 +148,10 @@ class SerialExecutor(FleetExecutor):
                         )
                         telemetry.emit(SHARD_RETRIED, shard_index=index)
                     continue
-                _announce(telemetry, index, result)
+                wall_s = (
+                    telemetry.elapsed_seconds() - started if telemetry else None
+                )
+                _announce(telemetry, index, result, wall_s=wall_s)
                 if telemetry:
                     telemetry.emit(QUEUE_DEPTH, depth=total - index - 1)
                 yield index, result
@@ -181,6 +185,7 @@ class ProcessFleetExecutor(FleetExecutor):
         budget = _RetryBudget(retry_budget)
         pending = list(range(len(payloads)))
         completed: set = set()
+        starts: dict = {}
         while pending:
             try:
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
@@ -188,6 +193,7 @@ class ProcessFleetExecutor(FleetExecutor):
                     for index in pending:
                         futures[pool.submit(fn, payloads[index])] = index
                         if telemetry:
+                            starts[index] = telemetry.elapsed_seconds()
                             telemetry.emit(SHARD_STARTED, shard_index=index)
                     failed: List[int] = []
                     outstanding = len(futures)
@@ -208,7 +214,12 @@ class ProcessFleetExecutor(FleetExecutor):
                             failed.append(index)
                             continue
                         completed.add(index)
-                        _announce(telemetry, index, result)
+                        wall_s = (
+                            telemetry.elapsed_seconds() - starts[index]
+                            if telemetry
+                            else None
+                        )
+                        _announce(telemetry, index, result, wall_s=wall_s)
                         if telemetry:
                             telemetry.emit(
                                 QUEUE_DEPTH, depth=outstanding + len(failed)
@@ -265,6 +276,7 @@ class QueueFleetExecutor(FleetExecutor):
         budget = _RetryBudget(retry_budget)
         backlog = deque(range(len(payloads)))
         completed: set = set()
+        starts: dict = {}
         while backlog:
             inflight: dict = {}
             try:
@@ -274,6 +286,7 @@ class QueueFleetExecutor(FleetExecutor):
                             index = backlog.popleft()
                             inflight[pool.submit(fn, payloads[index])] = index
                             if telemetry:
+                                starts[index] = telemetry.elapsed_seconds()
                                 telemetry.emit(SHARD_STARTED, shard_index=index)
                         if telemetry:
                             telemetry.emit(
@@ -300,7 +313,12 @@ class QueueFleetExecutor(FleetExecutor):
                                 backlog.append(index)
                                 continue
                             completed.add(index)
-                            _announce(telemetry, index, result)
+                            wall_s = (
+                                telemetry.elapsed_seconds() - starts[index]
+                                if telemetry
+                                else None
+                            )
+                            _announce(telemetry, index, result, wall_s=wall_s)
                             yield index, result
             except BrokenProcessPool as exc:
                 budget.spend(None, exc)
@@ -319,19 +337,31 @@ class QueueFleetExecutor(FleetExecutor):
                         telemetry.emit(SHARD_RETRIED, shard_index=index)
 
 
-def _announce(telemetry: Optional[TelemetryBus], index: int, result: Any) -> None:
-    """Emit SHARD_FINISHED, reading counters off fleet shard results."""
+def _announce(
+    telemetry: Optional[TelemetryBus],
+    index: int,
+    result: Any,
+    wall_s: Optional[float] = None,
+) -> None:
+    """Emit SHARD_FINISHED, reading counters off fleet shard results.
+
+    ``wall_s`` is measured by the executor in the *parent* process
+    (submission to completion on the telemetry bus clock) rather than
+    carried on the result: shard results are pickled and checkpointed,
+    so a wall-time field would make two identical runs byte-differ.
+    """
     if telemetry is None:
         return
     payload = {}
     for attribute, name in (
         ("events_processed", "events"),
         ("device_count", "devices"),
-        ("wall_seconds", "wall_s"),
     ):
         value = getattr(result, attribute, None)
         if value is not None:
             payload[name] = value
+    if wall_s is not None:
+        payload["wall_s"] = wall_s
     telemetry.emit(SHARD_FINISHED, shard_index=index, **payload)
 
 

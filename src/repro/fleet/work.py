@@ -11,7 +11,6 @@ determinism guarantee.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -81,9 +80,6 @@ class ShardResult:
     shard_index: int
     spec_fingerprint: str
     device_results: List[DeviceResult] = field(default_factory=list)
-    #: Wall time the worker spent; telemetry only, never aggregated
-    #: into the deterministic report.
-    wall_seconds: float = 0.0
 
     @property
     def device_count(self) -> int:
@@ -188,10 +184,14 @@ def run_device(
 
 
 def run_shard(task: ShardTask) -> ShardResult:
-    """Worker entry point: simulate every device in the shard."""
-    # Wall time feeds ShardResult.wall_seconds, which is telemetry-only
-    # and never aggregated into the deterministic report.
-    started = time.monotonic()  # lint: ignore[det-wallclock]
+    """Worker entry point: simulate every device in the shard.
+
+    Deliberately clock-free: a ``ShardResult`` is pickled back to the
+    parent and checkpointed to disk, so a wall-time field — however
+    "telemetry-only" — makes the checkpoint bytes differ between two
+    identical runs.  Shard wall time is measured by the executor in
+    the parent process instead and emitted straight to telemetry.
+    """
     population = Population(seed=task.spec.seed)
     result = ShardResult(
         shard_index=task.shard_index,
@@ -210,5 +210,4 @@ def run_shard(task: ShardTask) -> ShardResult:
                 challenger_table=task.challenger_table,
             )
         )
-    result.wall_seconds = time.monotonic() - started  # lint: ignore[det-wallclock]
     return result

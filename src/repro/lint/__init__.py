@@ -27,7 +27,11 @@ from repro.lint import rules_contracts  # noqa: F401  (registers rules)
 from repro.lint import rules_determinism  # noqa: F401  (registers rules)
 from repro.lint import rules_pickling  # noqa: F401  (registers rules)
 from repro.lint import rules_units  # noqa: F401  (registers rules)
-from repro.lint.reporting import render_json, render_text
+from repro.lint import rules_concurrency  # noqa: F401  (registers rules)
+from repro.lint import taint  # noqa: F401  (registers rules)
+from repro.lint.cache import AnalysisCache
+from repro.lint.callgraph import ProjectGraph, ProjectIndex, project_graph
+from repro.lint.reporting import render_json, render_sarif, render_text
 from repro.lint.runner import (
     LintResult,
     collect_files,
@@ -35,14 +39,18 @@ from repro.lint.runner import (
     load_baseline,
     select_rules,
     write_baseline,
+    write_pruned_baseline,
 )
 
 __all__ = [
     "ALL_RULES",
+    "AnalysisCache",
     "FileContext",
     "Finding",
     "LintConfig",
     "LintResult",
+    "ProjectGraph",
+    "ProjectIndex",
     "RULE_REGISTRY",
     "Rule",
     "Suppressions",
@@ -50,9 +58,12 @@ __all__ = [
     "iter_rule_ids",
     "lint_paths",
     "load_baseline",
+    "project_graph",
     "register_rule",
     "render_json",
+    "render_sarif",
     "render_text",
     "select_rules",
     "write_baseline",
+    "write_pruned_baseline",
 ]

@@ -26,11 +26,13 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
 from repro.errors import LintError
 
-#: Matches ``# lint: ignore`` / ``# lint: ignore[a, b]`` and the
-#: file-scoped ``# lint: ignore-file[a]`` variant.  The bracket list is
-#: optional for the inline form (bare ``ignore`` silences every rule on
-#: the line); ``ignore-file`` requires explicit rule ids so a whole
-#: file can never be silenced wholesale by accident.
+#: Matches the ``lint: ignore`` / ``lint: ignore[a, b]`` comment forms
+#: and the file-scoped ``lint: ignore-file[a]`` variant (each written
+#: after a ``#`` in real code — spelling them out here would register
+#: this very comment as a suppression).  The bracket list is optional
+#: for the inline form (bare ``ignore`` silences every rule on the
+#: line); ``ignore-file`` requires explicit rule ids so a whole file
+#: can never be silenced wholesale by accident.
 _SUPPRESS_RE = re.compile(
     r"#\s*lint:\s*(?P<scope>ignore-file|ignore)\s*(?:\[(?P<rules>[^\]]*)\])?"
 )
@@ -120,6 +122,34 @@ class Suppressions:
             return True
         on_line = self._by_line.get(line, ())
         return rule_id in on_line or ALL_RULES in on_line
+
+    def declared_entries(self) -> List[Tuple[Optional[int], str]]:
+        """Every suppression entry in the file, sorted.
+
+        Inline entries are ``(line, rule_id)``; file-wide entries are
+        ``(None, rule_id)``.  The runner diffs this against the entries
+        that actually silenced something to report stale suppressions.
+        """
+        out: List[Tuple[Optional[int], str]] = [
+            (None, rule_id) for rule_id in sorted(self._file_wide)
+        ]
+        for line in sorted(self._by_line):
+            out.extend((line, rule_id) for rule_id in sorted(self._by_line[line]))
+        return out
+
+    def covering_entries(
+        self, rule_id: str, line: int
+    ) -> List[Tuple[Optional[int], str]]:
+        """The declared entries that silence ``rule_id`` at ``line``."""
+        out: List[Tuple[Optional[int], str]] = []
+        if rule_id in self._file_wide:
+            out.append((None, rule_id))
+        on_line = self._by_line.get(line, ())
+        if rule_id in on_line:
+            out.append((line, rule_id))
+        if ALL_RULES in on_line:
+            out.append((line, ALL_RULES))
+        return out
 
     @property
     def file_wide(self) -> Set[str]:
@@ -222,6 +252,32 @@ class LintConfig:
         "repro/analysis/fig12_continuous_learning.py::EpochTask",
         "repro/analysis/fig12_continuous_learning.py::EpochOutcome",
     )
+    #: Functions whose bodies are canonical-serialisation sinks for the
+    #: interprocedural taint pass (``rel/path.py::func`` or
+    #: ``rel/path.py::Class.method``).
+    taint_sink_functions: Tuple[str, ...] = (
+        "repro/fleet/engine.py::FleetReport.to_dict",
+        "repro/fleet/engine.py::FleetReport.to_json",
+        "repro/registry/records.py::RegistryState.to_dict",
+    )
+    #: Classes whose constructed instances cross the process boundary;
+    #: any function instantiating one is a taint sink.
+    taint_sink_classes: Tuple[str, ...] = (
+        "repro/fleet/work.py::ShardResult",
+        "repro/fleet/work.py::DeviceResult",
+    )
+    #: Methods (including subclass overrides) that fold shard results
+    #: into the aggregate report — the reduction sinks.
+    taint_sink_methods: Tuple[str, ...] = (
+        "repro/fleet/reducers.py::Accumulator.update",
+        "repro/fleet/reducers.py::Accumulator.merge",
+        "repro/fleet/reducers.py::Accumulator.finalize",
+    )
+    #: Entry points executed inside worker processes; everything they
+    #: reach is subject to the concurrency rules.
+    worker_roots: Tuple[str, ...] = (
+        "repro/fleet/work.py::run_shard",
+    )
     #: Identifier suffix -> canonical unit for the units-hygiene rule.
     unit_suffixes: Dict[str, str] = field(default_factory=lambda: {
         "mj": "millijoule",
@@ -252,6 +308,11 @@ class Rule:
     id: str = "abstract"
     description: str = ""
     scope: str = "file"
+    #: Finding rule-ids this rule emits when they differ from ``id``
+    #: (e.g. the taint pass registers as ``det-taint`` but reports
+    #: ``det-taint-clock`` findings).  Reporters use this to publish
+    #: complete rule metadata; suppressions match the emitted id.
+    emits: Tuple[str, ...] = ()
 
     def __init__(self, config: LintConfig) -> None:
         self.config = config

@@ -12,7 +12,7 @@ structural: they flag the *pattern*, not the bug it eventually causes.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Callable, Iterator, List, Optional, Set, Union
 
 from repro.lint.core import FileContext, Finding, Rule, register_rule
 
@@ -64,6 +64,135 @@ def _is_set_producing(node: ast.expr) -> bool:
     ):
         return _is_set_producing(node.left) or _is_set_producing(node.right)
     return False
+
+
+#: Annotation heads that type a name as a set.
+_SET_ANNOTATION_NAMES = frozenset({
+    "set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet",
+})
+
+
+def _is_set_annotation(node: ast.expr) -> bool:
+    """Whether an annotation expression names a set type."""
+    if isinstance(node, ast.Subscript):
+        return _is_set_annotation(node.value)
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATION_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATION_NAMES
+    return False
+
+
+Scope = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _scope_statements(scope: Scope) -> Iterator[ast.stmt]:
+    """Statements belonging to ``scope``, excluding nested def/class
+    bodies (those are their own binding scopes)."""
+    stack: List[ast.stmt] = list(scope.body)
+    while stack:
+        node = stack.pop(0)
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+
+
+def set_typed_locals(
+    scope: Scope,
+    call_returns_set: Optional[Callable[[ast.Call], bool]] = None,
+) -> Set[str]:
+    """Names in ``scope`` whose every binding is a set.
+
+    A name qualifies when all of its bindings are set-producing
+    expressions, ``Set``-annotated, or (when the caller can resolve
+    calls, via ``call_returns_set``) calls of set-returning functions.
+    Any binding of unknown type — a loop target, an unpacking, an
+    ordinary assignment — disqualifies the name, and ``AugAssign`` is
+    neutral (``|=`` does not change what the name holds).  Conservative
+    by construction: one doubtful binding and the name drops out.
+    """
+    set_bound: Set[str] = set()
+    disqualified: Set[str] = set()
+
+    def classify(name: str, is_set: bool) -> None:
+        (set_bound if is_set else disqualified).add(name)
+
+    def value_is_set(value: Optional[ast.expr]) -> bool:
+        if value is None:
+            return False
+        if _is_set_producing(value):
+            return True
+        if (
+            call_returns_set is not None
+            and isinstance(value, ast.Call)
+            and call_returns_set(value)
+        ):
+            return True
+        return False
+
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            if arg.annotation is not None and _is_set_annotation(arg.annotation):
+                set_bound.add(arg.arg)
+            else:
+                disqualified.add(arg.arg)
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None:
+                disqualified.add(vararg.arg)
+
+    for node in _scope_statements(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    classify(target.id, value_is_set(node.value))
+                else:
+                    for inner in ast.walk(target):
+                        if isinstance(inner, ast.Name):
+                            disqualified.add(inner.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            annotated_set = _is_set_annotation(node.annotation)
+            classify(
+                node.target.id, annotated_set or value_is_set(node.value)
+            )
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for inner in ast.walk(node.target):
+                if isinstance(inner, ast.Name):
+                    disqualified.add(inner.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for inner in ast.walk(item.optional_vars):
+                        if isinstance(inner, ast.Name):
+                            disqualified.add(inner.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                disqualified.add(alias.asname or alias.name.split(".")[0])
+        # Walrus bindings inside expressions: disqualify their targets.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                for inner in ast.walk(child):
+                    if isinstance(inner, ast.NamedExpr) and isinstance(
+                        inner.target, ast.Name
+                    ):
+                        if not value_is_set(inner.value):
+                            disqualified.add(inner.target.id)
+                        else:
+                            set_bound.add(inner.target.id)
+    return set_bound - disqualified
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[Scope]:
+    """The module scope, then every (possibly nested) function scope."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
 
 
 @register_rule
@@ -172,15 +301,11 @@ class SetIterationRule(Rule):
     """
 
     id = "det-set-iter"
-    description = "iteration over an unsorted set expression"
+    description = "iteration over an unsorted set expression or set-typed local"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
-            iter_expr: Optional[ast.expr] = None
-            if isinstance(node, (ast.For, ast.AsyncFor)):
-                iter_expr = node.iter
-            elif isinstance(node, ast.comprehension):
-                iter_expr = node.iter
+            iter_expr = _iterated_expr(node)
             if iter_expr is not None and _is_set_producing(iter_expr):
                 yield Finding(
                     rule_id=self.id,
@@ -190,3 +315,45 @@ class SetIterationRule(Rule):
                     message="iteration over a set without sorted(...); "
                     "order varies with PYTHONHASHSEED",
                 )
+        # Second pass per binding scope: locals that can only hold a
+        # set (every assignment is set-producing or Set-annotated) are
+        # just as hash-ordered as a literal set expression.
+        for scope in iter_scopes(ctx.tree):
+            locals_ = set_typed_locals(scope)
+            if not locals_:
+                continue
+            for node in _walk_scope(scope):
+                iter_expr = _iterated_expr(node)
+                if (
+                    isinstance(iter_expr, ast.Name)
+                    and iter_expr.id in locals_
+                ):
+                    yield Finding(
+                        rule_id=self.id,
+                        path=ctx.path,
+                        line=iter_expr.lineno,
+                        column=iter_expr.col_offset,
+                        message=f"iteration over set-typed local "
+                        f"{iter_expr.id!r} without sorted(...); "
+                        "order varies with PYTHONHASHSEED",
+                    )
+
+
+def _iterated_expr(node: ast.AST) -> Optional[ast.expr]:
+    """The iterable of a ``for`` / comprehension clause, else ``None``."""
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        return node.iter
+    if isinstance(node, ast.comprehension):
+        return node.iter
+    return None
+
+
+def _walk_scope(scope: Scope) -> Iterator[ast.AST]:
+    """Every node in ``scope`` excluding nested def/class bodies."""
+    for stmt in _scope_statements(scope):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if not isinstance(child, ast.stmt):
+                yield from ast.walk(child)

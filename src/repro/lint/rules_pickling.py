@@ -73,26 +73,99 @@ def _class_defs(ctx: FileContext) -> Dict[str, ast.ClassDef]:
     }
 
 
-def _annotation_type_names(node: ast.expr) -> List[str]:
-    """Candidate class names referenced by a field annotation.
+#: Typing scaffolding and builtin containers: these name *shapes*, not
+#: payload classes, and must never be looked up as project symbols (a
+#: project class that happens to be called ``Set`` would otherwise be
+#: shadowed by the wrapper).
+_TYPING_WRAPPERS = frozenset({
+    "Optional", "Union", "Any", "ClassVar", "Final", "Annotated",
+    "Literal", "List", "Sequence", "MutableSequence", "Tuple", "Dict",
+    "Mapping", "MutableMapping", "OrderedDict", "DefaultDict",
+    "Counter", "Deque", "Set", "FrozenSet", "AbstractSet",
+    "MutableSet", "Iterable", "Iterator", "Generator", "Type",
+    "Callable", "list", "dict", "set", "frozenset", "tuple", "type",
+    "None",
+})
 
-    Handles quoted forward references (``"SnipTable"``) by re-parsing
-    the string.  Typing scaffolding (``Optional``, ``List``, builtins)
-    comes along for the ride and simply fails to resolve to a module.
+#: Generic heads whose arguments are *not* stored instance state and
+#: therefore end the trace: ``ClassVar`` fields never pickle with the
+#: instance, ``Type[X]``/``Literal`` hold references and values, and a
+#: ``Callable`` annotation's signature classes are never stored.
+_OPAQUE_HEADS = frozenset({"ClassVar", "Literal", "Type", "Callable"})
+
+#: A class reference from an annotation: ``("bare", "SnipTable")`` for
+#: a plain name, ``("dotted", "repro.core.table.SnipTable")`` for an
+#: attribute reference already resolved through the import map.
+_ClassRef = Tuple[str, str]
+
+
+def _head_name(node: ast.expr) -> Optional[str]:
+    """The identifier a generic subscription is applied to."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _annotation_refs(node: ast.expr, ctx: FileContext) -> List[_ClassRef]:
+    """Candidate class references stored by a field annotation.
+
+    Walks the annotation *structurally* instead of collecting every
+    identifier: ``Optional[X]``, ``Sequence[X]``, ``Mapping[K, V]``,
+    PEP 604 ``X | None``, ``Annotated[X, ...]``, and quoted forward
+    references all reduce to the payload classes they can actually
+    store, while typing wrappers, ``Literal`` values, ``ClassVar``
+    scaffolding, and ``Callable`` signatures contribute nothing.
+    Dotted references (``work.ShardResult``) resolve through the
+    import map so the trace follows them across modules.
     """
-    names: List[str] = []
-    for child in ast.walk(node):
-        if isinstance(child, ast.Name):
-            names.append(child.id)
-        elif isinstance(child, ast.Attribute):
-            names.append(child.attr)
-        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+    refs: List[_ClassRef] = []
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, str):
+            # Quoted forward reference: re-parse and recurse.
             try:
-                quoted = ast.parse(child.value, mode="eval")
+                quoted = ast.parse(node.value, mode="eval")
             except SyntaxError:
-                continue
-            names.extend(_annotation_type_names(quoted.body))
-    return names
+                return []
+            return _annotation_refs(quoted.body, ctx)
+        return []  # None / Ellipsis / literal values
+    if isinstance(node, ast.Name):
+        if node.id in _TYPING_WRAPPERS:
+            return []
+        return [("bare", node.id)]
+    if isinstance(node, ast.Attribute):
+        if node.attr in _TYPING_WRAPPERS:
+            return []
+        dotted = ctx.imports.resolve(node)
+        if dotted is None:
+            return []
+        return [("dotted", dotted)]
+    if isinstance(node, ast.Subscript):
+        head = _head_name(node.value)
+        if head in _OPAQUE_HEADS:
+            return []
+        if head == "Annotated":
+            # Annotated[X, metadata...]: only X is the stored type.
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                return _annotation_refs(inner.elts[0], ctx)
+            return _annotation_refs(inner, ctx)
+        # A parametrised project class (``Holder[int]``) stores state
+        # of its own: trace the head as well as the arguments.
+        refs.extend(_annotation_refs(node.value, ctx))
+        inner = node.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        for element in elements:
+            refs.extend(_annotation_refs(element, ctx))
+        return refs
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # PEP 604 union: ``X | None`` / ``X | Y``.
+        return (
+            _annotation_refs(node.left, ctx)
+            + _annotation_refs(node.right, ctx)
+        )
+    return refs
 
 
 def _lambda_findings(
@@ -250,18 +323,42 @@ class PicklingSafetyRule(Rule):
         for stmt in node.body:
             if not isinstance(stmt, ast.AnnAssign):
                 continue
-            for name in _annotation_type_names(stmt.annotation):
-                if name in local:
-                    out.append((ctx, local[name]))
-                    continue
-                member = ctx.imports.members.get(name)
-                if member is None:
-                    continue
-                module, original = member
-                target_ctx = index.lookup(module)
-                if target_ctx is None:
-                    continue
-                target = _class_defs(target_ctx).get(original)
-                if target is not None:
-                    out.append((target_ctx, target))
+            for kind, ref in _annotation_refs(stmt.annotation, ctx):
+                if kind == "bare":
+                    if ref in local:
+                        out.append((ctx, local[ref]))
+                        continue
+                    member = ctx.imports.members.get(ref)
+                    if member is None:
+                        continue
+                    module, original = member
+                    target_ctx = index.lookup(module)
+                    if target_ctx is None:
+                        continue
+                    target = _class_defs(target_ctx).get(original)
+                    if target is not None:
+                        out.append((target_ctx, target))
+                else:
+                    resolved = self._resolve_dotted(ref, index)
+                    if resolved is not None:
+                        out.append(resolved)
         return out
+
+    @staticmethod
+    def _resolve_dotted(
+        dotted: str, index: _ModuleIndex
+    ) -> Optional[Tuple[FileContext, ast.ClassDef]]:
+        """``pkg.mod.Class`` -> its definition, longest module prefix
+        first (so ``fleet.work.ShardResult`` finds module
+        ``fleet.work`` even though ``fleet`` is also a package)."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            target_ctx = index.lookup(".".join(parts[:cut]))
+            if target_ctx is None:
+                continue
+            if cut != len(parts) - 1:
+                continue  # trailing attribute chain, not a class name
+            target = _class_defs(target_ctx).get(parts[-1])
+            if target is not None:
+                return (target_ctx, target)
+        return None

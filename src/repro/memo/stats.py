@@ -51,7 +51,11 @@ def classify_erroneous_execution(
         return None
     categories = set()
     by_name = {write.name: write.category for write in list(actual) + list(predicted)}
-    for name in mismatched_names:
+    # Sorted so the fold visits fields in a hash-seed-independent
+    # order (membership in `categories` is order-sensitive only in
+    # iteration, but the determinism lint bans unsorted set walks
+    # wholesale — cheap here, and the report stays byte-stable).
+    for name in sorted(mismatched_names):
         categories.add(by_name[name])
     for severe in (OutputCategory.EXTERN, OutputCategory.HISTORY, OutputCategory.TEMP):
         if severe in categories:

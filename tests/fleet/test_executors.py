@@ -96,6 +96,20 @@ def test_serial_retries_and_counts_failures(tmp_path):
     assert telemetry.counters.retries == 2
 
 
+def test_shard_finished_carries_parent_measured_wall_time():
+    # Wall time rides on the telemetry event, never on the result
+    # object (results are pickled into checkpoints, which must stay
+    # byte-stable across identical runs).
+    telemetry = TelemetryBus()
+    SerialExecutor().run(_square, [2, 3], telemetry=telemetry)
+    finished = [
+        event for event in telemetry.history if event.kind == "shard_finished"
+    ]
+    assert len(finished) == 2
+    for event in finished:
+        assert event.payload["wall_s"] >= 0.0
+
+
 def test_serial_raises_when_budget_exhausted():
     executor = SerialExecutor()
     with pytest.raises(WorkerCrashError, match="retry budget exhausted"):

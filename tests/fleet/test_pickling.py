@@ -97,3 +97,28 @@ def test_shard_task_and_result_roundtrip(small_spec, small_package):
         assert copied.snip_joules == original.snip_joules
         assert copied.baseline_joules == original.baseline_joules
         assert copied.hits == original.hits
+
+
+def test_identical_shard_runs_pickle_byte_equal(small_spec, small_package):
+    """Checkpoint stability: no wall-clock state may leak into results.
+
+    ShardResults are checkpointed to disk as pickle bytes, so two runs
+    of the same task must serialise identically — the regression this
+    pins is a wall-time field on ShardResult, which made every
+    checkpoint byte-unique.
+    """
+    def shard_bytes():
+        task = ShardTask(
+            shard_index=0,
+            spec=small_spec,
+            device_ids=(0, 1),
+            selection=small_package.selection,
+            table=small_package.table,
+            config=SnipConfig(),
+        )
+        return pickle.dumps(
+            run_shard(task), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+    assert shard_bytes() == shard_bytes()
+    assert not hasattr(ShardResult(0, ""), "wall_seconds")

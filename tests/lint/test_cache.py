@@ -1,0 +1,138 @@
+"""Incremental analysis cache: replay, invalidation, tolerance."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint import AnalysisCache, lint_paths
+from repro.lint.core import FileContext
+
+DIRTY = """
+    import time
+
+    def stamp():
+        return time.time()
+"""
+
+CLEAN = "x = 1\n"
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def _counting_parse(monkeypatch):
+    """Instrument FileContext.parse with a call counter."""
+    calls = {"n": 0}
+    original = FileContext.parse.__func__
+
+    def counted(cls, path, source, rel_path):
+        calls["n"] += 1
+        return original(cls, path, source, rel_path)
+
+    monkeypatch.setattr(FileContext, "parse", classmethod(counted))
+    return calls
+
+
+def test_warm_run_replays_without_parsing(tmp_path, monkeypatch):
+    _write(tmp_path, "dirty.py", DIRTY)
+    _write(tmp_path, "clean.py", CLEAN)
+    cache_path = str(tmp_path / ".cache" / "lint.json")
+    cold = lint_paths([str(tmp_path)], cache=AnalysisCache(cache_path))
+    calls = _counting_parse(monkeypatch)
+    warm = lint_paths([str(tmp_path)], cache=AnalysisCache(cache_path))
+    assert calls["n"] == 0
+    assert warm.findings == cold.findings
+    assert warm.files_checked == cold.files_checked
+    assert warm.suppressed == cold.suppressed
+    assert warm.unused_suppressions == cold.unused_suppressions
+
+
+def test_editing_a_file_refreshes_its_findings(tmp_path):
+    target = _write(tmp_path, "dirty.py", DIRTY)
+    cache_path = str(tmp_path / "lint-cache.json")
+    first = lint_paths([str(tmp_path)], cache=AnalysisCache(cache_path))
+    assert [f.rule_id for f in first.findings] == ["det-wallclock"]
+    target.write_text(CLEAN, encoding="utf-8")
+    second = lint_paths([str(tmp_path)], cache=AnalysisCache(cache_path))
+    assert second.findings == []
+    # And the fix is itself cached: the next run replays it.
+    third = lint_paths([str(tmp_path)], cache=AnalysisCache(cache_path))
+    assert third.findings == []
+
+
+def test_baseline_changes_do_not_defeat_the_cache(tmp_path, monkeypatch):
+    _write(tmp_path, "dirty.py", DIRTY)
+    cache_path = str(tmp_path / "lint-cache.json")
+    cold = lint_paths([str(tmp_path)], cache=AnalysisCache(cache_path))
+    key = cold.findings[0].baseline_key
+    calls = _counting_parse(monkeypatch)
+    warm = lint_paths(
+        [str(tmp_path)],
+        baseline={key: 1},
+        cache=AnalysisCache(cache_path),
+    )
+    # Baseline is applied after cache replay, so the warm run still
+    # parses nothing while the finding is absorbed.
+    assert calls["n"] == 0
+    assert warm.findings == []
+    assert warm.baselined == 1
+
+
+def test_corrupt_cache_is_treated_as_cold(tmp_path):
+    _write(tmp_path, "dirty.py", DIRTY)
+    cache_path = tmp_path / "lint-cache.json"
+    cache_path.write_text("{ not json", encoding="utf-8")
+    result = lint_paths(
+        [str(tmp_path)], cache=AnalysisCache(str(cache_path))
+    )
+    assert [f.rule_id for f in result.findings] == ["det-wallclock"]
+    # The bad file was rewritten with a valid document.
+    document = json.loads(cache_path.read_text(encoding="utf-8"))
+    assert document["version"] == 1
+
+
+def test_cache_written_under_a_different_policy_is_ignored(tmp_path):
+    _write(tmp_path, "dirty.py", DIRTY)
+    cache_path = str(tmp_path / "lint-cache.json")
+    lint_paths(
+        [str(tmp_path)],
+        rule_ids=["det-set-iter"],
+        cache=AnalysisCache(cache_path),
+    )
+    # Same cache file, full rule pack: the narrowed run's outcomes
+    # must not replay (they saw no det-wallclock rule at all).
+    result = lint_paths([str(tmp_path)], cache=AnalysisCache(cache_path))
+    assert [f.rule_id for f in result.findings] == ["det-wallclock"]
+
+
+def test_warm_run_over_the_real_tree_is_fast_and_clean(tmp_path):
+    """Acceptance bar: a warm incremental run over src/repro in <2s."""
+    import pathlib
+    import time
+
+    package = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+    cache_path = str(tmp_path / "lint-cache.json")
+    cold = lint_paths([str(package)], cache=AnalysisCache(cache_path))
+    started = time.perf_counter()
+    warm = lint_paths([str(package)], cache=AnalysisCache(cache_path))
+    elapsed = time.perf_counter() - started
+    assert warm.findings == cold.findings == []
+    assert elapsed < 2.0
+
+
+def test_cache_flag_round_trips_through_the_cli(tmp_path):
+    import io
+
+    from repro.cli import main
+
+    _write(tmp_path, "dirty.py", DIRTY)
+    cache_path = str(tmp_path / "lint-cache.json")
+    target = str(tmp_path / "dirty.py")
+    assert main(["lint", target, "--cache", cache_path], out=io.StringIO()) == 1
+    out = io.StringIO()
+    assert main(["lint", target, "--cache", cache_path], out=out) == 1
+    assert "det-wallclock" in out.getvalue()

@@ -1,0 +1,222 @@
+"""Project symbol table and call graph: binding and reachability.
+
+The interprocedural passes are only as good as the edges this module
+resolves, so the fixtures here pin every binding form the graph
+promises to see: same-module calls, aliased imports, re-exports
+through package ``__init__``, ``self.method`` dispatch, constructor
+edges, typed-parameter receivers, and recursion.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict, List
+
+from repro.lint.callgraph import module_name, project_graph
+from repro.lint.core import FileContext
+
+
+def parse_tree(tmp_path, files: Dict[str, str]) -> List[FileContext]:
+    contexts = []
+    for rel_path, source in sorted(files.items()):
+        path = tmp_path / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = textwrap.dedent(source)
+        path.write_text(text, encoding="utf-8")
+        contexts.append(FileContext.parse(str(path), text, rel_path))
+    return contexts
+
+
+def edges_of(graph, qualname):
+    return sorted(edge.callee for edge in graph.callees(qualname))
+
+
+def test_module_name_handles_packages_and_init():
+    assert module_name("fleet/work.py") == "fleet.work"
+    assert module_name("registry/__init__.py") == "registry"
+    assert module_name("__init__.py") == ""
+
+
+def test_same_module_and_imported_function_calls_resolve(tmp_path):
+    graph = project_graph(parse_tree(tmp_path, {
+        "util.py": """
+            def helper():
+                return 1
+        """,
+        "main.py": """
+            from util import helper
+
+            def local():
+                return 2
+
+            def entry():
+                local()
+                helper()
+        """,
+    }))
+    assert edges_of(graph, "main.entry") == ["main.local", "util.helper"]
+
+
+def test_aliased_module_attribute_calls_resolve(tmp_path):
+    graph = project_graph(parse_tree(tmp_path, {
+        "pkg/util.py": """
+            def helper():
+                return 1
+        """,
+        "main.py": """
+            import pkg.util as u
+
+            def entry():
+                return u.helper()
+        """,
+    }))
+    assert edges_of(graph, "main.entry") == ["pkg.util.helper"]
+
+
+def test_reexport_through_package_init_resolves(tmp_path):
+    graph = project_graph(parse_tree(tmp_path, {
+        "pkg/__init__.py": """
+            from pkg.impl import helper
+        """,
+        "pkg/impl.py": """
+            def helper():
+                return 1
+        """,
+        "main.py": """
+            from pkg import helper
+
+            def entry():
+                return helper()
+        """,
+    }))
+    assert edges_of(graph, "main.entry") == ["pkg.impl.helper"]
+
+
+def test_self_method_dispatch_includes_base_classes(tmp_path):
+    graph = project_graph(parse_tree(tmp_path, {
+        "shapes.py": """
+            class Base:
+                def shared(self):
+                    return 0
+
+            class Derived(Base):
+                def entry(self):
+                    self.own()
+                    self.shared()
+
+                def own(self):
+                    return 1
+        """,
+    }))
+    assert edges_of(graph, "shapes.Derived.entry") == [
+        "shapes.Base.shared", "shapes.Derived.own",
+    ]
+
+
+def test_constructor_call_records_instantiation_and_init_edge(tmp_path):
+    graph = project_graph(parse_tree(tmp_path, {
+        "model.py": """
+            class Payload:
+                def __init__(self):
+                    self.x = 1
+        """,
+        "main.py": """
+            from model import Payload
+
+            def build():
+                return Payload()
+        """,
+    }))
+    assert [i.class_qualname for i in graph.instantiations["main.build"]] == [
+        "model.Payload"
+    ]
+    assert edges_of(graph, "main.build") == ["model.Payload.__init__"]
+
+
+def test_annotated_parameter_receiver_binds_methods(tmp_path):
+    graph = project_graph(parse_tree(tmp_path, {
+        "model.py": """
+            class Table:
+                def fold(self):
+                    return 1
+        """,
+        "main.py": """
+            from model import Table
+
+            def entry(table: Table):
+                return table.fold()
+        """,
+    }))
+    assert edges_of(graph, "main.entry") == ["model.Table.fold"]
+
+
+def test_local_constructor_assignment_types_the_receiver(tmp_path):
+    graph = project_graph(parse_tree(tmp_path, {
+        "model.py": """
+            class Table:
+                def fold(self):
+                    return 1
+        """,
+        "main.py": """
+            from model import Table
+
+            def entry():
+                table = Table()
+                return table.fold()
+        """,
+    }))
+    assert "model.Table.fold" in edges_of(graph, "main.entry")
+
+
+def test_recursion_and_cycles_terminate(tmp_path):
+    graph = project_graph(parse_tree(tmp_path, {
+        "main.py": """
+            def ping():
+                return pong()
+
+            def pong():
+                return ping()
+        """,
+    }))
+    reachable = graph.reachable_from(["main.ping"])
+    assert sorted(reachable) == ["main.ping", "main.pong"]
+
+
+def test_reachability_parents_rebuild_the_call_chain(tmp_path):
+    graph = project_graph(parse_tree(tmp_path, {
+        "a.py": """
+            from b import middle
+
+            def entry():
+                return middle()
+        """,
+        "b.py": """
+            from c import deep
+
+            def middle():
+                return deep()
+        """,
+        "c.py": """
+            def deep():
+                return 1
+
+            def dead():
+                return 2
+        """,
+    }))
+    parents = graph.reachable_from(["a.entry"])
+    assert graph.call_chain(parents, "c.deep") == [
+        "a.entry", "b.middle", "c.deep",
+    ]
+    # Dead code is not reachable, so no chain exists for it.
+    assert "c.dead" not in parents
+
+
+def test_graph_is_memoized_by_content(tmp_path):
+    contexts = parse_tree(tmp_path, {
+        "main.py": """
+            def f():
+                return 1
+        """,
+    })
+    assert project_graph(contexts) is project_graph(contexts)

@@ -238,3 +238,88 @@ class TestSetIteration:
             rules=["det-set-iter"],
         )
         assert result.findings == []
+
+
+class TestSetTypedLocals:
+    """The dataflow half of det-set-iter: locals that hold sets."""
+
+    def test_flags_local_assigned_from_set_call(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def walk(names):
+                unique = set(names)
+                for name in unique:
+                    print(name)
+            """,
+            rules=["det-set-iter"],
+        )
+        assert rule_ids(result) == ["det-set-iter"]
+        assert "'unique'" in result.findings[0].message
+        assert "set-typed local" in result.findings[0].message
+
+    def test_flags_set_annotated_local(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from typing import Set
+
+            def walk(loader):
+                names: Set[str] = loader.names()
+                for name in names:
+                    print(name)
+            """,
+            rules=["det-set-iter"],
+        )
+        assert rule_ids(result) == ["det-set-iter"]
+
+    def test_flags_module_level_set_local(self, lint_snippet):
+        result = lint_snippet(
+            """
+            NAMES = frozenset(["a", "b"])
+
+            for name in NAMES:
+                print(name)
+            """,
+            rules=["det-set-iter"],
+        )
+        assert rule_ids(result) == ["det-set-iter"]
+
+    def test_local_rebound_to_a_list_is_clean(self, lint_snippet):
+        # One binding is a set, but another makes the name a list —
+        # the rule only fires when every binding is set-producing.
+        result = lint_snippet(
+            """
+            def walk(names, ordered):
+                unique = set(names)
+                if ordered:
+                    unique = sorted(names)
+                for name in unique:
+                    print(name)
+            """,
+            rules=["det-set-iter"],
+        )
+        assert result.findings == []
+
+    def test_sorted_set_local_is_clean(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def walk(names):
+                unique = set(names)
+                for name in sorted(unique):
+                    print(name)
+            """,
+            rules=["det-set-iter"],
+        )
+        assert result.findings == []
+
+    def test_loop_target_name_is_not_treated_as_set(self, lint_snippet):
+        # ``group`` is bound by the outer loop, not a set constructor.
+        result = lint_snippet(
+            """
+            def walk(groups):
+                for group in groups:
+                    for item in group:
+                        print(item)
+            """,
+            rules=["det-set-iter"],
+        )
+        assert result.findings == []

@@ -181,6 +181,111 @@ def test_unreachable_class_with_lambda_is_not_flagged(lint_tree):
     assert result.findings == []
 
 
+#: A traced-to class carrying an unpicklable hazard; tests below vary
+#: only the annotation that does (or does not) reach it.
+HAZARD_TABLE = """
+    class SnipTable:
+        compare = lambda self, a, b: a < b
+"""
+
+
+def _work_with(annotation, extra_imports=""):
+    return f"""
+        from dataclasses import dataclass
+        from typing import (
+            Callable, ClassVar, Dict, List, Literal, Mapping,
+            Optional, Sequence, Tuple,
+        )
+
+        from repro.core.table import SnipTable
+        {extra_imports}
+
+        @dataclass
+        class ShardTask:
+            payload: {annotation}
+    """
+
+
+class TestAnnotationGenerics:
+    """The annotation walker behind the payload trace.
+
+    Each case keeps the hazard fixed (a lambda on ``SnipTable``) and
+    varies only the annotation on the root dataclass: if the walker
+    sees through the generic, the hazard is reached and flagged; if
+    the head is opaque (``ClassVar``, ``Literal``, ``Callable``), the
+    class is never traced and the tree is clean.
+    """
+
+    def _lint(self, lint_tree, annotation, extra_imports=""):
+        return lint_tree(
+            {
+                "fleet/work.py": _work_with(annotation, extra_imports),
+                "core/table.py": HAZARD_TABLE,
+            },
+            rules=PCK,
+        )
+
+    def test_optional_reaches_the_argument(self, lint_tree):
+        result = self._lint(lint_tree, "Optional[SnipTable]")
+        assert rule_ids(result) == ["pck-lambda"]
+
+    def test_sequence_reaches_the_element(self, lint_tree):
+        result = self._lint(lint_tree, "Sequence[SnipTable]")
+        assert rule_ids(result) == ["pck-lambda"]
+
+    def test_mapping_reaches_both_key_and_value(self, lint_tree):
+        result = self._lint(lint_tree, "Mapping[str, SnipTable]")
+        assert rule_ids(result) == ["pck-lambda"]
+
+    def test_pep_604_union_reaches_every_arm(self, lint_tree):
+        result = self._lint(lint_tree, "SnipTable | None")
+        assert rule_ids(result) == ["pck-lambda"]
+
+    def test_nested_generics_reach_the_innermost_argument(self, lint_tree):
+        result = self._lint(
+            lint_tree, "Dict[str, List[Tuple[int, SnipTable]]]"
+        )
+        assert rule_ids(result) == ["pck-lambda"]
+
+    def test_quoted_generic_annotation_is_parsed(self, lint_tree):
+        result = self._lint(lint_tree, '"Optional[SnipTable]"')
+        assert rule_ids(result) == ["pck-lambda"]
+
+    def test_dotted_reference_resolves_through_module_import(self, lint_tree):
+        result = lint_tree(
+            {
+                "fleet/work.py": """
+                    import repro.core.table as tbl
+                    from dataclasses import dataclass
+                    from typing import Optional
+
+                    @dataclass
+                    class ShardTask:
+                        payload: Optional[tbl.SnipTable]
+                """,
+                "core/table.py": HAZARD_TABLE,
+            },
+            rules=PCK,
+        )
+        assert rule_ids(result) == ["pck-lambda"]
+
+    def test_classvar_is_not_part_of_the_pickled_payload(self, lint_tree):
+        # ClassVar fields are not pickled by dataclasses, so the
+        # referenced class must not be traced.
+        result = self._lint(lint_tree, "ClassVar[SnipTable]")
+        assert result.findings == []
+
+    def test_literal_arguments_are_values_not_types(self, lint_tree):
+        result = self._lint(lint_tree, 'Literal["snip", "table"]')
+        assert result.findings == []
+
+    def test_callable_signature_types_are_not_traced(self, lint_tree):
+        # A Callable annotation describes a function, which pck-lambda
+        # polices separately; its signature must not drag SnipTable in.
+        result = self._lint(lint_tree, "Callable[[SnipTable], int]")
+        assert result.findings == []
+
+
 def test_trace_follows_quoted_forward_references(lint_tree):
     # ShardResult references DeviceResult via a quoted annotation.
     result = lint_tree(

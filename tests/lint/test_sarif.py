@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 reporter: document shape, rule catalogue, locations."""
+
+from __future__ import annotations
+
+import io
+import json
+import textwrap
+
+from repro.cli import main
+from repro.lint import render_sarif
+from repro.lint.core import RULE_REGISTRY
+
+SNIPPET = """
+import time
+
+def stamp():
+    return time.time()
+"""
+
+
+def _run(document_text):
+    document = json.loads(document_text)
+    assert document["version"] == "2.1.0"
+    assert document["$schema"].endswith("sarif-2.1.0.json")
+    (run,) = document["runs"]
+    return run
+
+
+def test_sarif_document_shape_and_result_location(lint_snippet):
+    result = lint_snippet(SNIPPET, rules=["det-wallclock"])
+    run = _run(render_sarif(result))
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    (sarif_result,) = run["results"]
+    assert sarif_result["ruleId"] == "det-wallclock"
+    assert sarif_result["level"] == "error"
+    region = sarif_result["locations"][0]["physicalLocation"]["region"]
+    # 1-based, like the text reporter's clickable locations.
+    assert region["startLine"] == 5
+    assert region["startColumn"] == 12
+
+
+def test_rule_catalogue_expands_multi_id_rules(lint_snippet):
+    result = lint_snippet("x = 1\n", rules=["det-wallclock"])
+    run = _run(render_sarif(result))
+    ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    # Every registered single-id rule appears...
+    for rule_id, cls in RULE_REGISTRY.items():
+        if cls.emits:
+            # ...and emits-style rules publish one descriptor per
+            # finding id (results reference det-taint-clock, never the
+            # umbrella det-taint).
+            assert rule_id not in ids
+            assert set(cls.emits) <= ids
+        else:
+            assert rule_id in ids
+    assert "parse-error" in ids
+    for rule in run["tool"]["driver"]["rules"]:
+        assert rule["defaultConfiguration"]["level"] == "error"
+        assert rule["shortDescription"]["text"]
+
+
+def test_every_result_rule_id_has_a_descriptor(lint_tree):
+    result = lint_tree(
+        {
+            "fleet/reducers.py": """
+                import time
+
+                class Accumulator:
+                    def update(self, shard):
+                        self.at = time.time()
+            """,
+        },
+    )
+    run = _run(render_sarif(result))
+    declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    emitted = {r["ruleId"] for r in run["results"]}
+    assert "det-taint-clock" in emitted
+    assert emitted <= declared
+
+
+def test_clean_run_renders_empty_results(lint_snippet):
+    result = lint_snippet("x = 1\n")
+    run = _run(render_sarif(result))
+    assert run["results"] == []
+
+
+def test_cli_format_sarif(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(SNIPPET), encoding="utf-8")
+    out = io.StringIO()
+    assert main(["lint", str(path), "--format", "sarif"], out=out) == 1
+    run = _run(out.getvalue())
+    assert [r["ruleId"] for r in run["results"]] == ["det-wallclock"]

@@ -66,6 +66,23 @@ class TestStats:
         actual = [_write("hist:h", OutputCategory.HISTORY, 1)]
         assert classify_erroneous_execution(predicted, actual) is OutputCategory.HISTORY
 
+    def test_classify_is_invariant_under_field_order(self):
+        # The mismatched-field fold walks names in sorted order, so
+        # the verdict cannot depend on hash-seed iteration order or on
+        # how the caller happened to order the writes.
+        fields = [
+            ("z:temp", OutputCategory.TEMP),
+            ("a:hist", OutputCategory.HISTORY),
+            ("m:ext", OutputCategory.EXTERN),
+        ]
+        predicted = [_write(n, c, 1) for n, c in fields]
+        actual = [_write(n, c, 2) for n, c in fields]
+        verdict = classify_erroneous_execution(predicted, actual)
+        assert verdict is OutputCategory.EXTERN
+        assert classify_erroneous_execution(
+            list(reversed(predicted)), list(reversed(actual))
+        ) is verdict
+
     def test_total_output_bytes(self):
         writes = [
             _write("a", OutputCategory.TEMP, 1, nbytes=16),
