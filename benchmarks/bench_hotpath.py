@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pickle
 import shutil
 import sys
 import tempfile
@@ -138,6 +139,14 @@ def bench_pfi(quick: bool, repeats: int) -> dict:
 
 
 def bench_runtime_probe(quick: bool, repeats: int) -> dict:
+    """Batched ``probe_batch`` vs the scalar key-build + lookup loop.
+
+    The scalar reference is what ``deliver`` does per event without
+    batching: parse the selection's field reads against the live event
+    and probe the memo table once. ``probe_batch`` groups the session
+    by event type, builds each type's key column with the compiled
+    readers, and gathers the entries in one ``lookup_batch`` pass.
+    """
     duration = 10.0 if quick else 30.0
     config = SnipConfig()
     package = CloudProfiler(config, cache=None).build_package_from_sessions(
@@ -149,23 +158,97 @@ def bench_runtime_probe(quick: bool, repeats: int) -> dict:
     )
     events = list(generate_events("candy_crush", seed=9, duration_s=duration))
     known = [event for event in events if package.table.knows(event.event_type)]
+    table = package.table
 
     def run_fast():
-        for event in known:
-            runtime.live_key(event)
+        return runtime.probe_batch(known)
 
     def run_reference():
-        for event in known:
-            runtime.live_key_reference(event)
+        return [
+            table.lookup(event.event_type, runtime.live_key_reference(event))
+            for event in known
+        ]
 
-    assert all(
-        runtime.live_key(event) == runtime.live_key_reference(event)
-        for event in known
-    ), "compiled probes diverged from reference"
+    keys, entries, hit_mask = run_fast()
+    reference_entries = run_reference()
+    assert keys == [
+        runtime.live_key_reference(event) for event in known
+    ], "batched probe keys diverged from reference"
+    assert entries == reference_entries, (
+        "batched probe entries diverged from reference"
+    )
+    assert list(hit_mask) == [
+        entry is not None for entry in reference_entries
+    ], "batched hit mask diverged from reference"
     fast_s = _time(run_fast, repeats)
     ref_s = _time(run_reference, repeats)
     return {
         "events": len(known),
+        "hits": int(hit_mask.sum()),
+        "fast_s": fast_s,
+        "reference_s": ref_s,
+        "speedup": ref_s / fast_s,
+    }
+
+
+def bench_session_batch(quick: bool, repeats: int) -> dict:
+    """Batched ``run_device`` vs the scalar ``run_device_reference``.
+
+    Times the whole columnar session pipeline — structure-of-arrays
+    trace assembly, batched dispatch and probes, columnar energy
+    ledgers — against the per-event-object reference, after asserting
+    every :class:`DeviceResult` pickles byte-identically.
+    """
+    from repro.core.config import SnipConfig as _SnipConfig
+    from repro.fleet.spec import FleetSpec
+    from repro.fleet.work import run_device, run_device_reference
+
+    devices = 24 if quick else 64
+    spec = FleetSpec(
+        game_name="candy_crush",
+        devices=devices,
+        sessions_per_device=1,
+        duration_s=0.25 if quick else 1.0,
+        seed=11,
+        shard_size=devices,
+        profile_seeds=(1,),
+        profile_duration_s=3.0,
+        measure_energy=True,
+        federate=True,
+    )
+    config = _SnipConfig()
+    package = CloudProfiler(config, cache=None).build_package_from_sessions(
+        spec.game_name,
+        seeds=list(spec.profile_seeds),
+        duration_s=spec.profile_duration_s,
+    )
+
+    def run_fast():
+        return [
+            run_device(device, spec, package.selection, package.table, config)
+            for device in range(devices)
+        ]
+
+    def run_reference():
+        return [
+            run_device_reference(
+                device, spec, package.selection, package.table, config
+            )
+            for device in range(devices)
+        ]
+
+    # Byte-identity first; this also warms the process-wide fold/event
+    # memos so the timed window measures steady state.
+    fast_results = run_fast()
+    reference_results = run_reference()
+    for fast_result, reference_result in zip(fast_results, reference_results):
+        assert pickle.dumps(fast_result) == pickle.dumps(reference_result), (
+            "batched DeviceResult diverged from reference"
+        )
+    fast_s = _time(run_fast, repeats)
+    ref_s = _time(run_reference, repeats)
+    return {
+        "devices": devices,
         "fast_s": fast_s,
         "reference_s": ref_s,
         "speedup": ref_s / fast_s,
@@ -213,6 +296,13 @@ def main(argv=None) -> int:
     gates = {
         "forest_predict": 1.5 if quick else 5.0,
         "pfi": 1.5 if quick else 3.0,
+        # The session/probe references share the process-wide fold and
+        # event memos with the batched path, so these floors gate the
+        # *residual* columnar win (trace assembly, batched dispatch,
+        # grouped lookups, columnar ledger); the end-to-end ≥5x gate
+        # against the recorded scalar floor lives in bench_fleet_scaling.
+        "runtime_probe": 1.3 if quick else 1.6,
+        "session_batch": 1.2 if quick else 1.4,
         "package_cache": 3.0 if quick else 10.0,
     }
 
@@ -222,6 +312,7 @@ def main(argv=None) -> int:
         ("forest_predict", lambda: bench_forest_predict(quick, repeats)),
         ("pfi", lambda: bench_pfi(quick, repeats)),
         ("runtime_probe", lambda: bench_runtime_probe(quick, repeats)),
+        ("session_batch", lambda: bench_session_batch(quick, repeats)),
         ("package_cache", lambda: bench_package_cache(quick)),
     ]
     for name, runner in sections:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Mapping, Sequence, Tuple, Union
 
 from repro.errors import EventError, UnknownEventTypeError
@@ -81,22 +82,28 @@ class EventSchema:
     event_type: EventType
     fields: Tuple[EventFieldSpec, ...]
 
-    @property
+    @cached_property
     def nbytes(self) -> int:
         """Total In.Event record size for this type."""
         return sum(spec.nbytes for spec in self.fields)
 
-    @property
+    @cached_property
     def field_names(self) -> Tuple[str, ...]:
         """Stable field ordering used by feature encoding."""
         return tuple(spec.name for spec in self.fields)
 
+    @cached_property
+    def _specs_by_name(self) -> Dict[str, EventFieldSpec]:
+        return {spec.name: spec for spec in self.fields}
+
     def spec(self, name: str) -> EventFieldSpec:
         """Look up one field spec by name."""
-        for candidate in self.fields:
-            if candidate.name == name:
-                return candidate
-        raise EventError(f"{self.event_type}: no field named {name!r}")
+        try:
+            return self._specs_by_name[name]
+        except KeyError:
+            raise EventError(
+                f"{self.event_type}: no field named {name!r}"
+            ) from None
 
 
 def _touch_schema() -> EventSchema:
@@ -283,6 +290,31 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Event({self.event_type}, seq={self.sequence}, {self.values})"
+
+
+def fast_event(
+    schema: EventSchema,
+    values: Dict[str, FieldValue],
+    sequence: int,
+    timestamp: float,
+) -> Event:
+    """Build an :class:`Event` without validation or re-quantisation.
+
+    The columnar session assembler calls this with value dicts that are
+    already quantised and in schema field order (they came out of a
+    validated ``Event``), where re-running ``Event.__init__`` would only
+    re-prove what is already true. The dict is adopted, not copied —
+    callers must not mutate it afterwards. Quantisation is a fixpoint
+    (re-quantising a quantised value returns it bit-identically), which
+    the equivalence tests assert per game, so events built here compare
+    equal — and hash equal — to scalar-path reconstructions.
+    """
+    event = Event.__new__(Event)
+    event.schema = schema
+    event.values = values
+    event.sequence = sequence
+    event.timestamp = timestamp
+    return event
 
 
 # -- convenience constructors ------------------------------------------

@@ -26,6 +26,7 @@ from typing import List, Optional
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.core.config import SnipConfig
 from repro.core.devreport import build_developer_report
+from repro.core.fastpath import disable_batching
 from repro.core.profiler import CloudProfiler
 from repro.core.runtime import SnipRuntime
 from repro.core.serialization import dump_table, load_table
@@ -61,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SNIP (IISWC 2020) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--no-batch", action="store_true",
+        help="run the scalar reference pipelines instead of the columnar "
+             "fast path (outputs are byte-identical either way)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -705,6 +711,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    if args.no_batch:
+        disable_batching()
     handlers = {
         "list-games": lambda: _cmd_list_games(out),
         "session": lambda: _cmd_session(args, out),

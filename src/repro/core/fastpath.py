@@ -1,0 +1,59 @@
+"""Escape hatch for the columnar device-simulation fast path.
+
+The batched session pipeline (columnar trace assembly, batched probes,
+columnar energy ledgers) is byte-identical to the scalar reference path
+by construction and by test, but an escape hatch keeps the scalar code
+one flag away: ``repro-snip fleet --no-batch`` or
+``REPRO_SNIP_NO_BATCH=1`` routes every device through the in-source
+``*_reference`` implementations.
+
+The toggle deliberately rides on an environment variable rather than a
+:class:`~repro.fleet.spec.FleetSpec` field: it must not perturb spec
+fingerprints (reports are byte-identical either way), and worker
+processes inherit the parent's environment, so one flag covers every
+executor kind.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Set to any value other than ``""``/``"0"`` to disable the batched
+#: fast path and run the scalar reference implementations everywhere.
+NO_BATCH_ENV = "REPRO_SNIP_NO_BATCH"
+
+
+#: Resolved once at import: the flag selects between two byte-identical
+#: implementations, so it cannot leak nondeterminism into any result
+#: (mirrors the package-cache kill switch in
+#: :mod:`repro.core.package_cache`). Worker processes re-import this
+#: module and therefore re-read the inherited environment.
+_BATCHING_DISABLED = os.environ.get(NO_BATCH_ENV, "") not in ("", "0")
+
+
+def batching_enabled() -> bool:
+    """Whether the columnar fast path is active."""
+    return not _BATCHING_DISABLED
+
+
+def disable_batching() -> None:
+    """Switch every pipeline to the scalar reference path.
+
+    Exposed for the CLI's ``--no-batch`` flag; mutating the environment
+    as well as module state makes the choice inherit into worker
+    processes spawned by the fleet executors.
+    """
+    global _BATCHING_DISABLED
+    _BATCHING_DISABLED = True
+    os.environ[NO_BATCH_ENV] = "1"
+
+
+def enable_batching() -> None:
+    """Restore the batched fast path after :func:`disable_batching`.
+
+    Used by the equivalence benchmarks and tests, which run the scalar
+    reference in-process and must put the toggle back afterwards.
+    """
+    global _BATCHING_DISABLED
+    _BATCHING_DISABLED = False
+    os.environ.pop(NO_BATCH_ENV, None)

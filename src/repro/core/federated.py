@@ -25,17 +25,72 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.android.emulator import Emulator
-from repro.android.events import EventType
+from repro.android.events import Event, EventType
 from repro.android.tracing import RecordedTrace
 from repro.core.config import SnipConfig
 from repro.core.selection import SelectedInputs
 from repro.core.table import SnipTable, TableEntry
 from repro.errors import ProfilerError
-from repro.games.base import FieldWrite
-from repro.games.registry import GAME_CONTENT_SEED, create_game
+from repro.games.base import FieldWrite, InputCategory
+from repro.games.registry import GAME_CONTENT_SEED, create_game, fresh_game
 
 #: (event_type, key) — the federated aggregation unit.
 Slot = Tuple[EventType, Tuple]
+
+#: One folded event: ``(slot, signature, total_cycles, writes)`` — the
+#: exact operands the scalar fold feeds its dicts, in event order.
+FoldRecord = Tuple[Slot, Tuple, float, Tuple[FieldWrite, ...]]
+
+#: One session's fold, compacted for replay: per-slot groups in
+#: first-occurrence order, so applying a session costs a handful of
+#: dict lookups per *slot* instead of several per *record*. Layout:
+#: ``(observed, per_slot, writes_firsts)`` where ``per_slot`` rows are
+#: ``(slot, count, cycles, votes_groups)`` — ``cycles`` the slot's
+#: per-record cycle operands in event order, ``votes_groups`` the
+#: slot's ``(signature, sig_cycles)`` groups in first-occurrence
+#: order — and ``writes_firsts`` holds each distinct signature's first
+#: writes tuple in session record order. Every contribution dict
+#: accumulates each key independently, so grouping a key's operands
+#: (while keeping them in order) reproduces the scalar fold's float
+#: additions and dict insertion orders bit for bit.
+SessionFold = Tuple[int, Tuple, Tuple]
+
+#: Per-(selection, game) caches of session folds, keyed by the
+#: session's event-value stream. The fold replays every session on a
+#: fresh content-seed game, so its records are a pure function of
+#: ``(game_name, selection, [(event_type, values)...])`` — timestamps
+#: and sequence numbers never reach the statistics. Selections are
+#: identified by content fingerprint, so equal selections built by
+#: different shards share one cache.
+_FOLD_CACHES: Dict[Tuple[Tuple, str], Dict[Tuple, SessionFold]] = {}
+#: Streams cached per (selection, game); sessions beyond the cap still
+#: fold correctly, they just stop populating the cache.
+_FOLD_CACHE_CAP = 4096
+
+#: Second cache level, underneath the session fold cache: per-event
+#: replay memos keyed by ``(event type, event values, state cells,
+#: screen contents)``. Handlers touch the world only through
+#: :class:`~repro.games.base.HandlerContext` (event fields, state
+#: reads, screen compares, seed-pure extern fetches), so that key
+#: captures every input the handler can observe — two replays with
+#: equal keys produce identical traces and identical mutations. A hit
+#: replays the recorded writes via ``Game.apply_outputs`` and reuses
+#: the ready-made fold record; only novel (state, event) pairs pay the
+#: handler. Unselected event types cache ``None`` records (they still
+#: mutate state). Unhashable state values fall back to a live replay.
+_EVENT_MEMOS: Dict[
+    Tuple[Tuple, str],
+    Dict[Tuple, Tuple[Optional[FoldRecord], Tuple[FieldWrite, ...]]],
+] = {}
+_EVENT_MEMO_CAP = 65_536
+
+
+def _selection_fingerprint(selection: SelectedInputs) -> Tuple:
+    """Hashable content identity for a selection (cache partitioning)."""
+    return tuple(
+        (event_type.value, tuple(fields))
+        for event_type, fields in selection.by_event_type.items()
+    )
 
 #: A key confirmed by this many distinct devices ships without needing
 #: to clear the per-device occurrence gate.
@@ -89,6 +144,25 @@ class ContributionBuilder:
         self._selection = selection
         self._emulator = Emulator(verify=False)
         self._sessions = 0
+        #: Per-event-type key plans for the fused fold: the ``event:``/
+        #: ``hist:``/``extern:`` kind of each necessary input resolved
+        #: once, so the per-event key build does no string parsing.
+        self._plans: Dict[EventType, Tuple[Tuple[str, str], ...]] = {
+            event_type: tuple(
+                (info.name.partition(":")[0], info.name.partition(":")[2])
+                for info in selection.fields_for(event_type)
+            )
+            for event_type in selection.by_event_type
+        }
+        cache_key = (_selection_fingerprint(selection), game_name)
+        cache = _FOLD_CACHES.get(cache_key)
+        if cache is None:
+            cache = _FOLD_CACHES[cache_key] = {}
+        self._fold_cache = cache
+        memo = _EVENT_MEMOS.get(cache_key)
+        if memo is None:
+            memo = _EVENT_MEMOS[cache_key] = {}
+        self._event_memo = memo
 
     def add_session(self, trace: RecordedTrace, session: int) -> None:
         """Replay one session locally and fold its statistics."""
@@ -113,6 +187,144 @@ class ContributionBuilder:
             contribution.events_observed += 1
         self._sessions += 1
 
+    def add_session_events(self, events: Sequence[Event], session: int) -> None:
+        """Fused fast-path fold: one pass, no emulator, no re-replay.
+
+        Statistics-identical to :meth:`add_session` over the recorded
+        form of the same events: the emulator's per-event
+        ``ProfileRecord`` exists only to be torn back apart into a key
+        and a trace, so this folds straight from the live replay.
+
+        Session folds are memoised on the event-value stream: two
+        devices whose sessions carry the same ``(type, values)``
+        sequence replay to the same fold records (the content-seed game
+        makes the trajectory a pure function of the stream), so only
+        the first pays the handler replay. The cached
+        :data:`SessionFold` holds the exact operands — grouped per
+        slot, each group in event order — that the scalar fold feeds
+        its dicts, so replaying it reproduces every float addition and
+        every dict insertion bit for bit.
+        """
+        contribution = self.contribution
+        stream = tuple(
+            [
+                (event.event_type.value, tuple(event.values.items()))
+                for event in events
+            ]
+        )
+        cache = self._fold_cache
+        cached = cache.get(stream)
+        if cached is None:
+            cached = _compact_fold(self._fold_events(events))
+            if len(cache) < _FOLD_CACHE_CAP:
+                cache[stream] = cached
+        observed, per_slot, writes_firsts = cached
+        signature_weight = contribution.signature_weight
+        occurrences = contribution.occurrences
+        cycle_sums = contribution.cycle_sums
+        writes = contribution.writes
+        for slot, count, cycles, votes_groups in per_slot:
+            votes = signature_weight.get(slot)
+            if votes is None:
+                votes = signature_weight[slot] = Counter()
+            for signature, sig_cycles in votes_groups:
+                total = votes.get(signature, 0)
+                for value in sig_cycles:
+                    total += value
+                votes[signature] = total
+            occurrences[slot] = occurrences.get(slot, 0) + count
+            total = cycle_sums.get(slot, 0.0)
+            for value in cycles:
+                total += value
+            cycle_sums[slot] = total
+        for signature, record_writes in writes_firsts:
+            if signature not in writes:
+                writes[signature] = record_writes
+        contribution.events_observed += observed
+        self._sessions += 1
+
+    def _fold_events(
+        self, events: Sequence[Event]
+    ) -> Tuple[Tuple[FoldRecord, ...], int]:
+        """Replay one session and extract its fold records.
+
+        The ``advance_engine`` → history capture → ``process``
+        sequencing matches the emulator's snapshot timing exactly;
+        extern key values come from the processing trace's extern reads
+        (absent reads yield ``None``), mirroring ``record_inputs``.
+
+        Per-event memo: handlers observe nothing outside the event's
+        values, the state store, the screen, and seed-pure extern
+        fetches, so ``(type, values, state cells, screen)`` determines
+        both the trace and the mutations. Repeats — idle frame ticks
+        dominate real streams — replay the recorded writes and reuse
+        the cached fold record instead of running the handler.
+        """
+        plans = self._plans
+        memo = self._event_memo
+        game = fresh_game(self.contribution.game_name, seed=GAME_CONTENT_SEED)
+        state = game.state
+        screen = game.screen
+        state_get = state.get
+        records: List[FoldRecord] = []
+        for event in events:
+            game.advance_engine(event)
+            event_type = event.event_type
+            try:
+                memo_key = (
+                    event_type.value,
+                    tuple(event.values.items()),
+                    tuple((cell.value, cell.nbytes) for cell in state),
+                    tuple(screen.items()),
+                )
+                hit = memo.get(memo_key)
+            except TypeError:
+                memo_key = hit = None
+            if hit is not None:
+                record, replay_writes = hit
+                if replay_writes:
+                    game.apply_outputs(replay_writes)
+                if record is not None:
+                    records.append(record)
+                continue
+            plan = plans.get(event_type)
+            if plan is None:
+                trace = game.process(event)
+                if memo_key is not None and len(memo) < _EVENT_MEMO_CAP:
+                    memo[memo_key] = (None, tuple(trace.writes))
+                continue
+            hist_values = {
+                name: state_get(name) for kind, name in plan if kind == "hist"
+            }
+            trace = game.process(event)
+            extern_values = None
+            key_parts = []
+            event_values = event.values
+            for kind, name in plan:
+                if kind == "event":
+                    key_parts.append(event_values.get(name))
+                elif kind == "hist":
+                    key_parts.append(hist_values[name])
+                else:
+                    if extern_values is None:
+                        extern_values = {
+                            read.name.partition(":")[2]: read.value
+                            for read in trace.reads
+                            if read.category is InputCategory.EXTERN
+                        }
+                    key_parts.append(extern_values.get(name))
+            writes_tuple = tuple(trace.writes)
+            record: FoldRecord = (
+                (event_type, tuple(key_parts)),
+                trace.output_signature(),
+                trace.total_cycles,
+                writes_tuple,
+            )
+            records.append(record)
+            if memo_key is not None and len(memo) < _EVENT_MEMO_CAP:
+                memo[memo_key] = (record, writes_tuple)
+        return tuple(records), len(records)
+
     def finish(self) -> DeviceContribution:
         """The device's upload; raises if no sessions were folded."""
         if self._sessions == 0:
@@ -120,6 +332,41 @@ class ContributionBuilder:
                 f"device {self.contribution.device_id}: no sessions to contribute"
             )
         return self.contribution
+
+
+def _compact_fold(fold: Tuple[Tuple[FoldRecord, ...], int]) -> SessionFold:
+    """Group one session's fold records into replay-efficient form.
+
+    Dicts preserve insertion order, so iterating the groupings walks
+    slots/signatures in first-occurrence record order — exactly the
+    insertion order the scalar per-record fold produces.
+    """
+    records, observed = fold
+    per_slot: Dict[Slot, list] = {}
+    writes_firsts: Dict[Tuple, Tuple[FieldWrite, ...]] = {}
+    for slot, signature, total_cycles, record_writes in records:
+        entry = per_slot.get(slot)
+        if entry is None:
+            entry = per_slot[slot] = [0, [], {}]
+        entry[0] += 1
+        entry[1].append(total_cycles)
+        groups = entry[2]
+        sig_cycles = groups.get(signature)
+        if sig_cycles is None:
+            sig_cycles = groups[signature] = []
+        sig_cycles.append(total_cycles)
+        if signature not in writes_firsts:
+            writes_firsts[signature] = record_writes
+    per_slot_rows = tuple(
+        (
+            slot,
+            count,
+            tuple(cycles),
+            tuple((sig, tuple(vals)) for sig, vals in groups.items()),
+        )
+        for slot, (count, cycles, groups) in per_slot.items()
+    )
+    return observed, per_slot_rows, tuple(writes_firsts.items())
 
 
 def build_device_contribution(

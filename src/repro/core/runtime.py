@@ -15,18 +15,25 @@ comparison over the necessary-input bytes, charged under the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.android.binder import Binder
-from repro.android.dispatch import charge_delivery, charge_trace, charge_upkeep
+from repro.android.dispatch import (
+    charge_delivery,
+    charge_trace,
+    charge_upkeep,
+    delivery_upkeep_pattern,
+)
 from repro.android.events import Event, EventType
 from repro.android.sensor_hub import SensorHub
 from repro.android.sensor_manager import SensorManager
 from repro.core.config import SnipConfig
 from repro.core.fields import FieldInfo
-from repro.core.table import SnipTable
+from repro.core.table import SnipTable, TableEntry
 from repro.games.base import Game, ProcessingTrace
-from repro.soc.energy import TAG_LOOKUP
+from repro.soc.energy import TAG_LOOKUP, ColumnarMeter
 from repro.soc.soc import IP_DISPLAY, Soc
 
 
@@ -96,6 +103,23 @@ class SnipRuntime:
             )
             for event_type in self.table.selection.by_event_type
         }
+        #: Event types whose selected fields are all ``event:``-kind —
+        #: their probe keys depend only on the event object, never on
+        #: game state or extern caches, so whole-session key columns can
+        #: be precomputed (see :meth:`session_keys`).
+        self._event_only = frozenset(
+            event_type
+            for event_type in self._probes
+            if all(
+                info.name.partition(":")[0] == "event"
+                for info in self.table.fields_for(event_type)
+            )
+        )
+        #: Columnar sessions install a :class:`ColumnarMeter` at SoC
+        #: build time; delivery/upkeep charges then arrive as static
+        #: patterns (byte-identical order and values) instead of per
+        #: event sensor-object traversals.
+        self._columnar = isinstance(soc.meter, ColumnarMeter)
         #: Kill switch (Sec. VII-B): when False every event takes the
         #: baseline path; probes, hits, and online learning all stop.
         self.enabled = True
@@ -174,16 +198,99 @@ class SnipRuntime:
         self.soc.memory.transfer(2 * compare_bytes, tag=TAG_LOOKUP)
         return compare_bytes
 
+    # -- batched probing ----------------------------------------------------
+
+    def session_keys(self, events: Sequence[Event]) -> List[Optional[Tuple]]:
+        """Precomputed probe keys for the event-only types in ``events``.
+
+        Keys over ``event:`` fields alone are state-independent — the
+        same tuple falls out of :meth:`live_key` before processing and
+        of the online-learning re-read after it — so they are valid for
+        the whole session regardless of when each event executes.
+        State-dependent types (and types the table does not know) get
+        ``None``; :meth:`deliver` falls back to live reads for those.
+        """
+        probes = self._probes
+        event_only = self._event_only
+        keys: List[Optional[Tuple]] = []
+        for event in events:
+            event_type = event.event_type
+            if event_type in event_only:
+                keys.append(tuple(read(event) for read in probes[event_type]))
+            else:
+                keys.append(None)
+        return keys
+
+    def probe_batch(
+        self, events: Sequence[Event]
+    ) -> Tuple[List[Optional[Tuple]], List[Optional[TableEntry]], np.ndarray]:
+        """Probe the memo table for a whole session in one pass.
+
+        Groups the events by type, builds each type's key column with
+        the compiled field readers, gathers that column's entries from
+        the table in one pass (:meth:`SnipTable.lookup_batch`), and
+        returns ``(keys, entries, hit_mask)`` indexed like ``events``.
+        Unknown types keep ``None`` keys and entries.
+
+        Semantics match a scalar ``live_key`` + ``lookup`` loop against
+        the table's *current* contents and the game's *current* state:
+        callers either restrict themselves to event-only selections or
+        hold state and table fixed across the batch (the hot-path
+        benchmark and the offline analyses do the latter).
+        """
+        count = len(events)
+        keys: List[Optional[Tuple]] = [None] * count
+        entries: List[Optional[TableEntry]] = [None] * count
+        by_type: Dict[EventType, List[int]] = {}
+        for index, event in enumerate(events):
+            by_type.setdefault(event.event_type, []).append(index)
+        for event_type, indices in by_type.items():
+            if not self.table.knows(event_type):
+                continue
+            readers = self._probes.get(event_type, ())
+            if readers:
+                columns = [[read(events[i]) for i in indices] for read in readers]
+                type_keys: List[Tuple] = list(zip(*columns))
+            else:
+                type_keys = [()] * len(indices)
+            found = self.table.lookup_batch(event_type, type_keys)
+            for index, key, entry in zip(indices, type_keys, found):
+                keys[index] = key
+                entries[index] = entry
+        hit_mask = np.fromiter(
+            (entry is not None for entry in entries), dtype=bool, count=count
+        )
+        return keys, entries, hit_mask
+
     # -- event loop -------------------------------------------------------------
 
-    def deliver(self, event: Event) -> Optional[ProcessingTrace]:
-        """Run one event; returns the trace, or ``None`` when snipped."""
-        charge_delivery(self.soc, self.hub, self.manager, self.binder, event)
-        self.stats.executed_cycles += charge_upkeep(self.soc, self.game, event)
+    def deliver(
+        self, event: Event, precomputed_key: Optional[Tuple] = None
+    ) -> Optional[ProcessingTrace]:
+        """Run one event; returns the trace, or ``None`` when snipped.
+
+        ``precomputed_key`` must come from :meth:`session_keys` (only
+        event-only types yield one); it replaces both the probe's live
+        key gather and the online-learning re-read.
+        """
+        if self._columnar:
+            self.game.advance_engine(event)
+            self.soc.meter.extend(delivery_upkeep_pattern(self.game, event))
+            self.stats.executed_cycles += self.game.upkeep_cycles_for(
+                event.event_type
+            )
+        else:
+            charge_delivery(self.soc, self.hub, self.manager, self.binder, event)
+            self.stats.executed_cycles += charge_upkeep(self.soc, self.game, event)
         self.stats.events += 1
         if self.enabled and self.table.knows(event.event_type):
             self.stats.compared_bytes += self._charge_probe(event)
-            entry = self.table.lookup(event.event_type, self.live_key(event))
+            key = (
+                precomputed_key
+                if precomputed_key is not None
+                else self.live_key(event)
+            )
+            entry = self.table.lookup(event.event_type, key)
             if entry is not None:
                 # Hit: substitute the stored outputs, skip all processing.
                 # The panel still scans out this vsync/camera frame —
@@ -206,10 +313,15 @@ class SnipRuntime:
             and self.config.online_warmup > 0
             and self.table.knows(event.event_type)
         ):
-            self._learn_online(event, trace)
+            self._learn_online(event, trace, key=precomputed_key)
         return trace
 
-    def _learn_online(self, event: Event, trace: ProcessingTrace) -> None:
+    def _learn_online(
+        self,
+        event: Event,
+        trace: ProcessingTrace,
+        key: Optional[Tuple] = None,
+    ) -> None:
         """Continuous learning, Option 2 at its finest granularity.
 
         Every miss contributes evidence for its necessary-input key; a
@@ -217,8 +329,12 @@ class SnipRuntime:
         is promoted to a live table entry. The necessary inputs (what
         to key on) still come from the cloud's PFI — this loop only
         fills values the shipped profile had not seen.
+
+        ``key`` short-circuits the live re-read when the caller already
+        holds this event's (state-independent) precomputed key.
         """
-        key = self.live_key(event)
+        if key is None:
+            key = self.live_key(event)
         signature = trace.output_signature()
         slot = (event.event_type, key)
         entry = self._online.get(slot)

@@ -371,9 +371,13 @@ class FleetEngine:
                 if self.checkpoint is not None:
                     self.checkpoint.save(result)
                 buffer[result.shard_index] = result
+                # Gauge the buffer at its high-water mark — after the
+                # insert, before the in-order drain empties it —
+                # otherwise peak_live_shards reads 0 on every run that
+                # folds shards as fast as they arrive.
+                self.telemetry.emit(LIVE_SHARDS, count=len(buffer))
                 self._drain(fold, buffer, on_disk)
                 self._enforce_buffer_cap(buffer, on_disk)
-                self.telemetry.emit(LIVE_SHARDS, count=len(buffer))
                 self.telemetry.emit(PEAK_RSS, bytes=peak_rss_bytes())
             # Anything still unfolded sits on disk (resumed shards past
             # the last fresh one, or spilled stragglers).

@@ -14,16 +14,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.android.dispatch import EventLoop
+from repro.android.dispatch import BatchedEventLoop, EventLoop
 from repro.core.config import SnipConfig
+from repro.core.fastpath import batching_enabled
 from repro.core.federated import ContributionBuilder, DeviceContribution
 from repro.core.runtime import SnipRuntime
 from repro.core.selection import SelectedInputs
 from repro.core.table import SnipTable
 from repro.errors import FleetError
 from repro.fleet.spec import COHORT_CHALLENGER, COHORT_CHAMPION, FleetSpec
-from repro.games.registry import GAME_CONTENT_SEED, create_game
-from repro.soc.energy import EnergyReport, merge_reports
+from repro.games.registry import GAME_CONTENT_SEED, create_game, fresh_game
+from repro.soc.energy import ColumnarMeter, EnergyReport, merge_reports
 from repro.soc.soc import snapdragon_821
 from repro.users.population import Population
 
@@ -105,7 +106,7 @@ def _replay_through(runner, trace, effective_s: float, soc) -> None:
         soc.advance_time(effective_s - clock)
 
 
-def run_device(
+def run_device_reference(
     device_id: int,
     spec: FleetSpec,
     selection: SelectedInputs,
@@ -115,13 +116,12 @@ def run_device(
     challenger_selection: Optional[SelectedInputs] = None,
     challenger_table: Optional[SnipTable] = None,
 ) -> DeviceResult:
-    """Simulate one device's sessions; pure in ``(spec.seed, device_id)``.
+    """Scalar golden reference for :func:`run_device`.
 
-    During a staged rollout, devices dealt into the challenger cohort
-    run the challenger's table instead of the champion's. Challenger
-    devices sit out the federated statistics pass: contributions are
-    keyed by the necessary-input selection, and merging two selections'
-    statistics into one fleet table would corrupt it.
+    The original per-event device loop, kept verbatim: the equivalence
+    suite asserts the batched path produces byte-identical
+    ``DeviceResult`` pickles against this, and
+    ``REPRO_SNIP_NO_BATCH=1`` routes production traffic back through it.
     """
     population = population or Population(seed=spec.seed)
     archetype = population.archetype_of(device_id)
@@ -176,6 +176,129 @@ def run_device(
             result.baseline_joules += base_soc.meter.total_joules
         if builder is not None:
             builder.add_session(trace, session)
+    if spec.measure_energy:
+        result.report = merge_reports(session_reports)
+    if builder is not None:
+        result.contribution = builder.finish()
+    return result
+
+
+def _replay_columnar(runner, events, keys, effective_s: float, soc) -> None:
+    """Feed materialised session events through a runner with the clock.
+
+    ``keys`` carries per-event precomputed probe keys (from
+    :meth:`SnipRuntime.session_keys`) or ``None`` for runners whose
+    ``deliver`` takes no key (the baseline loop).
+    """
+    clock = 0.0
+    deliver = runner.deliver
+    advance = soc.advance_time
+    if keys is None:
+        for event in events:
+            timestamp = event.timestamp
+            if timestamp > clock:
+                advance(timestamp - clock)
+                clock = timestamp
+            deliver(event)
+    else:
+        for event, key in zip(events, keys):
+            timestamp = event.timestamp
+            if timestamp > clock:
+                advance(timestamp - clock)
+                clock = timestamp
+            deliver(event, key)
+    if effective_s > clock:
+        advance(effective_s - clock)
+
+
+def run_device(
+    device_id: int,
+    spec: FleetSpec,
+    selection: SelectedInputs,
+    table: SnipTable,
+    config: SnipConfig,
+    population: Optional[Population] = None,
+    challenger_selection: Optional[SelectedInputs] = None,
+    challenger_table: Optional[SnipTable] = None,
+) -> DeviceResult:
+    """Simulate one device's sessions; pure in ``(spec.seed, device_id)``.
+
+    Columnar fast path: sessions are generated in structure-of-arrays
+    form (each event materialised exactly once), games come from the
+    template cache, energy lands in append-only :class:`ColumnarMeter`
+    ledgers fed by static delivery/upkeep cost patterns, probe keys for
+    event-only selections are precomputed per session, and the
+    federated statistics fold runs fused over the already-materialised
+    events. Byte-identical to :func:`run_device_reference` — same
+    ``DeviceResult`` pickles, same fleet reports — as asserted by the
+    golden-equivalence suite; ``REPRO_SNIP_NO_BATCH=1`` (or the CLI's
+    ``--no-batch``) falls back to the reference loop.
+
+    During a staged rollout, devices dealt into the challenger cohort
+    run the challenger's table instead of the champion's. Challenger
+    devices sit out the federated statistics pass: contributions are
+    keyed by the necessary-input selection, and merging two selections'
+    statistics into one fleet table would corrupt it.
+    """
+    if not batching_enabled():
+        return run_device_reference(
+            device_id,
+            spec,
+            selection,
+            table,
+            config,
+            population=population,
+            challenger_selection=challenger_selection,
+            challenger_table=challenger_table,
+        )
+    population = population or Population(seed=spec.seed)
+    archetype = population.archetype_of(device_id)
+    cohort = spec.cohort_of(device_id)
+    if cohort == COHORT_CHALLENGER:
+        if challenger_table is None or challenger_selection is None:
+            raise FleetError(
+                f"device {device_id} was dealt into the challenger cohort "
+                f"but no challenger package was shipped"
+            )
+        selection, table = challenger_selection, challenger_table
+    result = DeviceResult(
+        device_id=device_id,
+        archetype=archetype.name,
+        sessions=spec.sessions_per_device,
+        cohort=cohort,
+    )
+    builder = (
+        ContributionBuilder(device_id, spec.game_name, selection)
+        if spec.federate and cohort == COHORT_CHAMPION
+        else None
+    )
+    session_reports = []
+    sessions = population.iter_columnar_sessions(
+        spec.game_name, device_id, spec.sessions_per_device, spec.duration_s
+    )
+    for session, columnar in enumerate(sessions):
+        events = columnar.events
+        result.events += len(events)
+        result.raw_uplink_bytes += columnar.uplink_bytes
+        if spec.measure_energy:
+            effective_s = spec.duration_s * archetype.session_scale
+            soc = snapdragon_821(meter=ColumnarMeter())
+            game = fresh_game(spec.game_name, seed=GAME_CONTENT_SEED)
+            runtime = SnipRuntime(soc, game, table.clone(), config)
+            keys = runtime.session_keys(events)
+            _replay_columnar(runtime, events, keys, effective_s, soc)
+            session_reports.append(soc.report())
+            result.hits += runtime.stats.hits
+            result.misses += runtime.stats.misses
+            result.avoided_cycles += runtime.stats.avoided_cycles
+            result.executed_cycles += runtime.stats.executed_cycles
+            base_soc = snapdragon_821(meter=ColumnarMeter())
+            base_game = fresh_game(spec.game_name, seed=GAME_CONTENT_SEED)
+            loop = BatchedEventLoop(base_soc, base_game)
+            _replay_columnar(loop, events, None, effective_s, base_soc)
+            result.baseline_joules += base_soc.meter.total_joules
+        if builder is not None:
+            builder.add_session_events(events, session)
     if spec.measure_energy:
         result.report = merge_reports(session_reports)
     if builder is not None:

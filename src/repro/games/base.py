@@ -51,7 +51,7 @@ class OutputCategory(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FieldRead:
     """One input consumed by a handler."""
 
@@ -61,7 +61,7 @@ class FieldRead:
     nbytes: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FieldWrite:
     """One output produced by a handler.
 
@@ -77,7 +77,7 @@ class FieldWrite:
     changed: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IpCall:
     """One accelerator invocation requested by a handler.
 
@@ -94,7 +94,7 @@ class IpCall:
     key: Optional[Tuple[Any, ...]] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CpuFuncCall:
     """One pure CPU sub-function executed by a handler.
 
@@ -115,7 +115,7 @@ class CpuFuncCall:
     reusable: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessingTrace:
     """Everything one event's processing consumed and produced."""
 
@@ -222,6 +222,8 @@ class ExternSource:
 
 class HandlerContext:
     """The only door between a game handler and the outside world."""
+
+    __slots__ = ("_event", "_state", "_screen", "_extern", "trace")
 
     def __init__(
         self,
@@ -457,6 +459,13 @@ class Game:
         return type(self)(seed=self.seed)
 
 
+#: Memoised :func:`mix_values` digests, keyed by the exact repr text
+#: that is hashed — the same mixes recur heavily across devices (shared
+#: state prefixes before each user's first gesture diverges them).
+_MIX_CACHE: Dict[str, int] = {}
+_MIX_CACHE_CAP = 262_144
+
+
 def mix_values(*values: Any) -> int:
     """Deterministic pseudo-random mix of handler inputs.
 
@@ -464,5 +473,11 @@ def mix_values(*values: Any) -> int:
     candy colours, spawn positions): the result depends only on values
     the handler read through the context, preserving replayability.
     """
-    digest = hashlib.blake2b(repr(values).encode("utf-8"), digest_size=8).digest()
-    return int.from_bytes(digest, "little")
+    text = repr(values)
+    mixed = _MIX_CACHE.get(text)
+    if mixed is None:
+        digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+        mixed = int.from_bytes(digest, "little")
+        if len(_MIX_CACHE) < _MIX_CACHE_CAP:
+            _MIX_CACHE[text] = mixed
+    return mixed

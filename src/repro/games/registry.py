@@ -7,17 +7,18 @@ of Figs. 2 and 3, from occasional-touch Colorphun up to 3D Race Kings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple, Type
+from typing import Any, Dict, Optional, Tuple, Type
 
 from repro.errors import UnknownGameError
 from repro.games.ab_evolution import AbEvolution
-from repro.games.base import Game
+from repro.games.base import ExternSource, Game
 from repro.games.candy_crush import CandyCrush
 from repro.games.chase_whisply import ChaseWhisply
 from repro.games.colorphun import Colorphun
 from repro.games.greenwall import Greenwall
 from repro.games.memory_game import MemoryGame
 from repro.games.race_kings import RaceKings
+from repro.games.state import StateStore
 
 
 @dataclass(frozen=True)
@@ -66,3 +67,56 @@ def game_info(name: str) -> GameInfo:
 def create_game(name: str, seed: int = 0) -> Game:
     """Instantiate a fresh game by catalogue name."""
     return game_info(name).cls(seed=seed)
+
+
+#: Attributes :meth:`Game.__init__` installs; a game whose constructor
+#: adds anything else cannot be template-cloned and falls back to
+#: :func:`create_game` (``None`` marks that case in the cache).
+_BASE_GAME_ATTRS = frozenset(
+    ("seed", "state", "screen", "extern_source", "events_processed")
+)
+
+#: ``(name, seed) -> (cls, initial state cells)`` — or ``None`` when the
+#: game is not safely cloneable. Populated lazily; content is identical
+#: for every instance because ``build_state`` is pure in ``seed``.
+_TEMPLATE_CACHE: Dict[
+    Tuple[str, int],
+    Optional[Tuple[Type[Game], Tuple[Tuple[str, Any, int], ...]]],
+] = {}
+
+
+def fresh_game(name: str, seed: int = 0) -> Game:
+    """Like :func:`create_game`, but clones a cached initial state.
+
+    ``build_state`` regenerates the same content (dealt boards, shuffled
+    decks) on every call; the per-device session loop creates games by
+    the hundred thousand, so this caches one template's initial state
+    cells per ``(name, seed)`` and rebuilds instances from them. Cells
+    hold only immutable values (ints, strings, tuples — the state-store
+    contract every game follows), so sharing them across clones is safe.
+    Games whose constructors install attributes beyond the base
+    :class:`~repro.games.base.Game` set are detected once and served by
+    :func:`create_game` instead.
+    """
+    key = (name, seed)
+    cached = _TEMPLATE_CACHE.get(key)
+    if cached is None:
+        if key in _TEMPLATE_CACHE:  # known non-cloneable
+            return create_game(name, seed)
+        template = create_game(name, seed)
+        if set(template.__dict__) != _BASE_GAME_ATTRS:
+            _TEMPLATE_CACHE[key] = None
+            return template
+        cells = tuple(
+            (field.name, field.value, field.nbytes) for field in template.state
+        )
+        _TEMPLATE_CACHE[key] = (type(template), cells)
+        return template
+    cls, cells = cached
+    game = cls.__new__(cls)
+    game.seed = seed
+    game.state = StateStore.from_cells(cells)
+    game.screen = {}
+    game.extern_source = ExternSource(seed=seed)
+    game.events_processed = 0
+    return game

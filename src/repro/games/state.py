@@ -59,6 +59,22 @@ class StateStore:
         """Whether a field exists."""
         return name in self._fields
 
+    @classmethod
+    def from_cells(cls, cells: "Tuple[Tuple[str, Any, int], ...]") -> "StateStore":
+        """Rebuild a store from ``(name, value, nbytes)`` triples.
+
+        The game-template clone path uses this to restore a cached
+        initial state without re-running ``build_state`` (which may
+        regenerate expensive content like dealt boards). Cells must come
+        from a store built through :meth:`declare`, so the invariants
+        (unique names, positive sizes) already hold.
+        """
+        store = cls()
+        fields = store._fields
+        for name, value, nbytes in cells:
+            fields[name] = StateField(name=name, value=value, nbytes=nbytes)
+        return store
+
     # -- observation ---------------------------------------------------
 
     def set_observer(self, observer: Optional[StateObserver]) -> None:
@@ -81,6 +97,16 @@ class StateStore:
         useless-event detector; never by game logic.
         """
         return self._require(name).value
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Unobserved read returning ``default`` for unknown fields.
+
+        The batched contribution fold uses this where the scalar path
+        goes through a full :meth:`snapshot` dict and ``.get`` — one
+        probe instead of materialising every field.
+        """
+        field = self._fields.get(name)
+        return default if field is None else field.value
 
     def size_of(self, name: str) -> int:
         """Current byte size of a field."""

@@ -49,7 +49,18 @@ class ReproRng:
         if seed < 0:
             raise ValueError(f"seed must be non-negative, got {seed}")
         self._seed = int(seed) & 0xFFFFFFFFFFFFFFFF
-        self._gen = np.random.default_rng(self._seed)
+
+    def __getattr__(self, name: str) -> np.random.Generator:
+        # The generator is built lazily: forking is pure in
+        # ``(seed, label)``, so parent streams that are only ever
+        # forked — the common pattern ``ReproRng(seed).fork(label)`` —
+        # never pay for one. Once built it becomes a plain instance
+        # attribute, so draws after the first have zero overhead.
+        if name == "_gen":
+            gen = np.random.default_rng(self._seed)
+            self._gen = gen
+            return gen
+        raise AttributeError(name)
 
     @property
     def seed(self) -> int:

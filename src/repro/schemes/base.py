@@ -11,11 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.fastpath import batching_enabled
 from repro.games.base import Game
-from repro.soc.energy import EnergyReport, TAG_LOOKUP
+from repro.soc.energy import ColumnarMeter, EnergyReport, TAG_LOOKUP
 from repro.soc.soc import Soc, snapdragon_821
-from repro.games.registry import GAME_CONTENT_SEED, create_game
-from repro.users.tracegen import generate_events
+from repro.games.registry import GAME_CONTENT_SEED, create_game, fresh_game
+from repro.users.tracegen import columnar_session, generate_events
 
 
 @dataclass
@@ -72,14 +73,19 @@ class Scheme:
         raise NotImplementedError
 
 
-def run_scheme_session(
+def run_scheme_session_reference(
     scheme: Scheme,
     game_name: str,
     seed: int = 0,
     duration_s: float = 60.0,
     soc: Optional[Soc] = None,
 ) -> SchemeRun:
-    """Run one full session under ``scheme`` and collect the ledger."""
+    """Scalar golden reference for :func:`run_scheme_session`.
+
+    Kept verbatim: the equivalence suite asserts the batched session
+    runner produces identical :class:`SchemeRun` reports against this,
+    and ``REPRO_SNIP_NO_BATCH=1`` routes callers back through it.
+    """
     soc = soc or snapdragon_821()
     game = create_game(game_name, seed=GAME_CONTENT_SEED)
     runner = scheme.make_runner(soc, game)
@@ -91,6 +97,50 @@ def run_scheme_session(
         runner.deliver(event)
     if duration_s > clock:
         soc.advance_time(duration_s - clock)
+    return _package_run(scheme, game_name, seed, duration_s, soc, runner)
+
+
+def run_scheme_session(
+    scheme: Scheme,
+    game_name: str,
+    seed: int = 0,
+    duration_s: float = 60.0,
+    soc: Optional[Soc] = None,
+) -> SchemeRun:
+    """Run one full session under ``scheme`` and collect the ledger.
+
+    Columnar fast path: the event stream is generated in
+    structure-of-arrays form (each event materialised exactly once) and
+    the ledger — when the SoC is ours to build — is an append-only
+    :class:`~repro.soc.energy.ColumnarMeter` folded once at report
+    time. Reports are byte-identical to the scalar reference.
+    """
+    if not batching_enabled():
+        return run_scheme_session_reference(
+            scheme, game_name, seed=seed, duration_s=duration_s, soc=soc
+        )
+    soc = soc or snapdragon_821(meter=ColumnarMeter())
+    game = fresh_game(game_name, seed=GAME_CONTENT_SEED)
+    runner = scheme.make_runner(soc, game)
+    clock = 0.0
+    for event in columnar_session(game_name, seed, duration_s).events:
+        if event.timestamp > clock:
+            soc.advance_time(event.timestamp - clock)
+            clock = event.timestamp
+        runner.deliver(event)
+    if duration_s > clock:
+        soc.advance_time(duration_s - clock)
+    return _package_run(scheme, game_name, seed, duration_s, soc, runner)
+
+
+def _package_run(
+    scheme: Scheme,
+    game_name: str,
+    seed: int,
+    duration_s: float,
+    soc: Soc,
+    runner,
+) -> SchemeRun:
     return SchemeRun(
         scheme_name=scheme.name,
         game_name=game_name,

@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
 
 from repro.soc.component import ComponentGroup
 
@@ -126,6 +128,169 @@ class EnergyMeter:
         self._by_tag.clear()
         self._by_group_tag.clear()
         self._total = 0.0
+
+
+# -- columnar fast path -------------------------------------------------
+
+#: Process-wide interning of ``(component, group, tag)`` charge keys.
+#: Key ids are an encoding detail — every folded quantity depends only
+#: on the per-meter record order and the id→key metadata, so reports
+#: stay byte-identical however ids were dealt across sessions or jobs.
+_KEY_IDS: Dict[Tuple[str, ComponentGroup, str], int] = {}
+_KEY_META: List[Tuple[str, ComponentGroup, str]] = []
+
+
+def charge_key_id(component: str, group: ComponentGroup, tag: str) -> int:
+    """Intern one charge key; used to precompute static cost patterns."""
+    key = (component, group, tag)
+    key_id = _KEY_IDS.get(key)
+    if key_id is None:
+        key_id = len(_KEY_META)
+        _KEY_IDS[key] = key_id
+        _KEY_META.append(key)
+    return key_id
+
+
+def _axis_fold(
+    key_ids: np.ndarray,
+    values: np.ndarray,
+    axis_of: Dict[int, object],
+) -> Dict[object, float]:
+    """Grouped sums along one axis, in the scalar meter's exact order.
+
+    For every distinct axis key (component name, group, tag, or
+    group-tag pair) this folds that key's charges with a sequential
+    ``np.add.accumulate`` over the records in arrival order — the same
+    left-to-right float additions ``EnergyMeter.charge`` performs — and
+    inserts keys in first-charge order, so ``dict(...)`` snapshots (and
+    therefore pickles) are byte-identical to the scalar ledger's.
+    """
+    # Translate per-record key ids into dense per-axis indices with one
+    # vectorized table gather; only the tiny id universe needs Python.
+    max_id = int(key_ids.max())
+    table = np.empty(max_id + 1, dtype=np.int64)
+    axis_indices: Dict[object, int] = {}
+    axis_keys: List[object] = []
+    for key_id in np.unique(key_ids):
+        axis_key = axis_of[int(key_id)]
+        axis_index = axis_indices.get(axis_key)
+        if axis_index is None:
+            axis_index = axis_indices[axis_key] = len(axis_keys)
+            axis_keys.append(axis_key)
+        table[key_id] = axis_index
+    translated = table[key_ids]
+    # First-charge order decides dict insertion order, like the scalar
+    # meter's defaultdicts.
+    first_seen = {
+        int(translated[position]): None
+        for position in np.sort(
+            np.unique(translated, return_index=True)[1]
+        )
+    }
+    folded: Dict[object, float] = {}
+    for axis_index in first_seen:
+        bucket = values[translated == axis_index]
+        folded[axis_keys[axis_index]] = float(np.add.accumulate(bucket)[-1])
+    return folded
+
+
+class ColumnarMeter(EnergyMeter):
+    """Append-only energy ledger with a vectorized grouped fold.
+
+    ``charge`` records ``(key id, joules)`` instead of updating four
+    dicts; totals are folded lazily — per axis, with masked sequential
+    ``np.add.accumulate`` sums in record order — so every float result
+    and every dict insertion order is bit-identical to an
+    :class:`EnergyMeter` fed the same charges. The batched dispatch
+    layer also pours precomputed static cost patterns straight into the
+    record columns via :meth:`extend`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._key_ids: List[int] = []
+        self._values: List[float] = []
+        self._fold_cache: Tuple[int, EnergyReport] = (-1, None)  # type: ignore[assignment]
+
+    def charge(
+        self,
+        component: str,
+        group: ComponentGroup,
+        joules: float,
+        tag: str = TAG_EVENT,
+    ) -> None:
+        if joules < 0:
+            raise ValueError(f"negative energy charge from {component!r}: {joules}")
+        if joules == 0:
+            return
+        self._key_ids.append(charge_key_id(component, group, tag))
+        self._values.append(joules)
+
+    def extend(self, pattern: Sequence[Tuple[int, float]]) -> None:
+        """Append a precomputed (key id, joules) charge pattern.
+
+        Patterns are recorded from real scalar charge sequences (see
+        :class:`repro.android.dispatch.SessionCostModel`), so they carry
+        no zero or negative charges by construction.
+        """
+        self._key_ids.extend(item[0] for item in pattern)
+        self._values.extend(item[1] for item in pattern)
+
+    # -- folded views ---------------------------------------------------
+
+    def _folded(self) -> EnergyReport:
+        count = len(self._values)
+        cached_count, cached = self._fold_cache
+        if cached_count == count:
+            return cached
+        if count == 0:
+            report = EnergyReport(
+                total_joules=0.0, by_component={}, by_group={},
+                by_tag={}, by_group_and_tag={},
+            )
+        else:
+            key_ids = np.asarray(self._key_ids, dtype=np.int64)
+            values = np.asarray(self._values, dtype=np.float64)
+            meta = _KEY_META
+            report = EnergyReport(
+                total_joules=float(np.add.accumulate(values)[-1]),
+                by_component=_axis_fold(
+                    key_ids, values, {i: key[0] for i, key in enumerate(meta)}
+                ),
+                by_group=_axis_fold(
+                    key_ids, values, {i: key[1] for i, key in enumerate(meta)}
+                ),
+                by_tag=_axis_fold(
+                    key_ids, values, {i: key[2] for i, key in enumerate(meta)}
+                ),
+                by_group_and_tag=_axis_fold(
+                    key_ids, values, {i: (key[1], key[2]) for i, key in enumerate(meta)}
+                ),
+            )
+        self._fold_cache = (count, report)
+        return report
+
+    @property
+    def total_joules(self) -> float:
+        return self._folded().total_joules
+
+    def component_joules(self, component: str) -> float:
+        return self._folded().by_component.get(component, 0.0)
+
+    def group_joules(self, group: ComponentGroup) -> float:
+        return self._folded().by_group.get(group, 0.0)
+
+    def tag_joules(self, tag: str) -> float:
+        return self._folded().by_tag.get(tag, 0.0)
+
+    def report(self) -> EnergyReport:
+        return self._folded()
+
+    def reset(self) -> None:
+        super().reset()
+        self._key_ids.clear()
+        self._values.clear()
+        self._fold_cache = (-1, None)  # type: ignore[assignment]
 
 
 def merge_reports(reports: Iterable[EnergyReport]) -> EnergyReport:

@@ -143,10 +143,16 @@ class Soc:
 def snapdragon_821(
     profiles: Optional[PowerProfiles] = None,
     battery: Optional[Battery] = None,
+    meter: Optional[EnergyMeter] = None,
 ) -> Soc:
-    """Build the Pixel XL phone model used throughout the experiments."""
+    """Build the Pixel XL phone model used throughout the experiments.
+
+    ``meter`` lets the batched session paths install a
+    :class:`~repro.soc.energy.ColumnarMeter` (byte-identical folds,
+    append-only hot path) without touching any component wiring.
+    """
     profiles = profiles or pixel_xl_profiles()
-    meter = EnergyMeter()
+    meter = meter if meter is not None else EnergyMeter()
     cpu = CpuCluster(meter, profiles.cpu)
     memory = Memory(meter, profiles.memory)
     ips: Dict[str, IpBlock] = {

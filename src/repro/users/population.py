@@ -14,11 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
+import numpy as np
+
 from repro.android.events import Event
 from repro.android.tracing import EventTracer, RecordedTrace
 from repro.rng import ReproRng
 from repro.users.behavior import behavior_for
-from repro.users.tracegen import assemble_events
+from repro.users.tracegen import ColumnarSession, assemble_columnar, assemble_events
 
 
 @dataclass(frozen=True)
@@ -53,6 +55,16 @@ DEFAULT_ARCHETYPES: Tuple[UserArchetype, ...] = (
 )
 
 
+#: Process-wide archetype deals, keyed by the full deal inputs
+#: ``(seed, archetypes, weights)`` → ``{user_id: archetype}``. The deal
+#: is a pure function of those inputs, and fleet workers build one
+#: short-lived :class:`Population` per shard — without a shared cache
+#: every shard re-draws the same weighted choices. Inner maps are
+#: capped so million-device fleets cannot grow memory unboundedly.
+_ARCHETYPE_DEALS: Dict[Tuple, Dict[int, "UserArchetype"]] = {}
+_ARCHETYPE_DEALS_CAP = 262_144
+
+
 class Population:
     """A deterministic assignment of archetypes to user ids."""
 
@@ -69,11 +81,33 @@ class Population:
         self.archetypes = archetypes
         self.weights = weights
         self.seed = seed
+        #: This population's slice of the process-wide deal cache:
+        #: archetype_of is pure in (seed, archetypes, weights, user_id)
+        #: and queried several times per device across every shard.
+        deal_key = (seed, archetypes, weights)
+        cache = _ARCHETYPE_DEALS.get(deal_key)
+        if cache is None:
+            cache = _ARCHETYPE_DEALS[deal_key] = {}
+        self._archetype_cache = cache
+        #: Normalised weights, computed once with the exact expressions
+        #: ReproRng.choice uses per call — the generator sees the same
+        #: ``p`` array either way, so the deal is draw-identical.
+        probs = np.asarray(list(weights), dtype=float)
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self._probs = probs / total
 
     def archetype_of(self, user_id: int) -> UserArchetype:
         """The archetype a user id maps to (stable across calls)."""
-        rng = ReproRng(self.seed).fork(f"user:{user_id}")
-        return rng.choice(list(self.archetypes), weights=list(self.weights))
+        cached = self._archetype_cache.get(user_id)
+        if cached is None:
+            rng = ReproRng(self.seed).fork(f"user:{user_id}")
+            index = int(rng.generator.choice(len(self.archetypes), p=self._probs))
+            cached = self.archetypes[index]
+            if len(self._archetype_cache) < _ARCHETYPE_DEALS_CAP:
+                self._archetype_cache[user_id] = cached
+        return cached
 
     def user_gestures(
         self, game_name: str, user_id: int, session: int, duration_s: float
@@ -130,6 +164,33 @@ class Population:
         """
         for session in range(sessions):
             yield self.user_trace(game_name, user_id, session, duration_s)
+
+    def iter_columnar_sessions(
+        self, game_name: str, user_id: int, sessions: int, duration_s: float
+    ) -> Iterator[ColumnarSession]:
+        """Columnar twin of :meth:`iter_user_traces`.
+
+        Yields each session as a :class:`ColumnarSession` whose events
+        are bit-identical to the ``to_event`` reconstructions of the
+        corresponding :class:`RecordedTrace` — without ever building the
+        recorded intermediates. Tempo compression happens on raw
+        ``(timestamp / tempo, event)`` pairs, reproducing the scalar
+        path's float expressions exactly.
+        """
+        archetype = self.archetype_of(user_id)
+        effective = duration_s * archetype.session_scale
+        tempo = archetype.tempo
+        behavior = behavior_for(game_name)
+        raw_duration = effective * tempo
+        for session in range(sessions):
+            rng = ReproRng(self.seed).fork(f"{game_name}:{user_id}:{session}")
+            raw = behavior.gestures(rng, raw_duration)
+            yield assemble_columnar(
+                game_name,
+                [(event.timestamp / tempo, event) for event in raw],
+                effective,
+                seed=user_id * 10_000 + session,
+            )
 
     def census(self, user_count: int) -> Dict[str, int]:
         """How many of the first N users land in each archetype."""

@@ -12,13 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.android.dispatch import EventLoop
+from repro.android.dispatch import BatchedEventLoop, EventLoop
 from repro.android.events import Event, EventType
+from repro.core.fastpath import batching_enabled
 from repro.games.base import Game, ProcessingTrace
-from repro.games.registry import GAME_CONTENT_SEED, create_game
-from repro.soc.energy import EnergyReport
+from repro.games.registry import GAME_CONTENT_SEED, create_game, fresh_game
+from repro.soc.energy import ColumnarMeter, EnergyReport
 from repro.soc.soc import Soc, snapdragon_821
-from repro.users.tracegen import generate_events
+from repro.users.tracegen import columnar_session, generate_events
 
 #: Default session length used by the characterization experiments; the
 #: paper measures 5-10 minute windows and extrapolates.
@@ -120,16 +121,64 @@ def run_baseline_session_task(payload: tuple) -> SessionResult:
     return run_baseline_session(game_name, seed=seed, duration_s=duration_s)
 
 
+def run_baseline_session_reference(
+    game_name: str,
+    seed: int = 0,
+    duration_s: float = DEFAULT_DURATION_S,
+) -> SessionResult:
+    """Scalar golden reference for :func:`run_baseline_session`.
+
+    Kept verbatim: the equivalence suite asserts the batched session
+    produces an identical :class:`SessionResult` against this, and
+    ``REPRO_SNIP_NO_BATCH=1`` routes callers back through it.
+    """
+    soc = snapdragon_821()
+    game = create_game(game_name, seed=GAME_CONTENT_SEED)
+    loop = EventLoop(soc, game)
+    events = generate_events(game_name, seed, duration_s)
+    traces: List[ProcessingTrace] = []
+    clock = 0.0
+    for event in events:
+        if event.timestamp > clock:
+            soc.advance_time(event.timestamp - clock)
+            clock = event.timestamp
+        traces.append(loop.deliver(event))
+    if duration_s > clock:
+        soc.advance_time(duration_s - clock)
+    return SessionResult(
+        game_name=game_name,
+        seed=seed,
+        duration_s=duration_s,
+        report=soc.report(),
+        traces=traces,
+        events=events,
+        soc=soc,
+        game=game,
+    )
+
+
 def run_baseline_session(
     game_name: str,
     seed: int = 0,
     duration_s: float = DEFAULT_DURATION_S,
 ) -> SessionResult:
-    """Play one unoptimized session and return its full observation."""
-    soc = snapdragon_821()
-    game = create_game(game_name, seed=GAME_CONTENT_SEED)
-    loop = EventLoop(soc, game)
-    events = generate_events(game_name, seed, duration_s)
+    """Play one unoptimized session and return its full observation.
+
+    Columnar fast path: events are generated in structure-of-arrays
+    form (each materialised exactly once), delivery/upkeep energy lands
+    in an append-only :class:`~repro.soc.energy.ColumnarMeter` via
+    static cost patterns, and the game comes from the template cache.
+    The result — ledger report, traces, events — is identical to the
+    scalar reference.
+    """
+    if not batching_enabled():
+        return run_baseline_session_reference(
+            game_name, seed=seed, duration_s=duration_s
+        )
+    soc = snapdragon_821(meter=ColumnarMeter())
+    game = fresh_game(game_name, seed=GAME_CONTENT_SEED)
+    loop = BatchedEventLoop(soc, game)
+    events = columnar_session(game_name, seed, duration_s).events
     traces: List[ProcessingTrace] = []
     clock = 0.0
     for event in events:

@@ -8,16 +8,33 @@ device-side tracer would record during real play.
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
-from repro.android.events import Event, EventType, make_frame_tick
+import numpy as np
+
+from repro.android.events import (
+    EVENT_SCHEMAS,
+    Event,
+    EventType,
+    fast_event,
+    make_frame_tick,
+)
 from repro.android.tracing import EventTracer, RecordedTrace
-from repro.games.registry import create_game
+from repro.games.registry import game_info
 from repro.rng import ReproRng
 from repro.users.behavior import behavior_for
 
 #: Choreographer callback rate for subscribed games.
 TICK_HZ = 60.0
+
+#: Stable event-type order for the columnar ``type_codes`` axis.
+EVENT_TYPE_ORDER: Tuple[EventType, ...] = tuple(EventType)
+_TYPE_CODE = {event_type: code for code, event_type in enumerate(EVENT_TYPE_ORDER)}
+_TICK_SCHEMA = EVENT_SCHEMAS[EventType.FRAME_TICK]
+#: Frame ticks cycle through 4 vsync slots with a constant delta; the
+#: four value dicts are interned (events never mutate their values).
+_TICK_VALUES = {slot: {"delta_ms": 16, "slot": slot} for slot in range(4)}
 
 
 def _frame_ticks(duration_s: float) -> List[Event]:
@@ -42,8 +59,7 @@ def assemble_events(
     if duration_s <= 0:
         raise ValueError(f"duration must be positive, got {duration_s}")
     events = [event for event in gestures if event.timestamp < duration_s]
-    game = create_game(game_name, seed=0)
-    if EventType.FRAME_TICK in game.handled_event_types:
+    if EventType.FRAME_TICK in game_info(game_name).cls.handled_event_types:
         events.extend(_frame_ticks(duration_s))
     events.sort(key=lambda event: (event.timestamp, event.event_type.value))
     ordered = []
@@ -70,3 +86,124 @@ def generate_trace(game_name: str, seed: int, duration_s: float) -> RecordedTrac
     for event in generate_events(game_name, seed, duration_s):
         tracer.record(event)
     return tracer.trace
+
+
+# -- columnar fast path -------------------------------------------------
+
+
+@dataclass
+class ColumnarSession:
+    """One session's event stream in structure-of-arrays form.
+
+    The scalar pipeline materialises each event three times (behaviour
+    gesture → re-quantised assembly copy → ``RecordedEvent`` →
+    ``to_event`` replay copy); this encoding materialises each event
+    exactly once and carries the per-event scalars as numpy columns for
+    the batched probe and ledger layers. ``events[i]`` corresponds to
+    ``type_codes[i]``/``timestamps[i]``; events compare equal — bit for
+    bit — to the scalar path's reconstructions (asserted by the
+    golden-equivalence suite).
+    """
+
+    game_name: str
+    seed: int
+    #: Ordered, sequence-numbered events (shared-dict fast objects).
+    events: List[Event]
+    #: Total In.Event bytes the phone would upload for this stream.
+    uplink_bytes: int
+    #: Lazy columns: the federate-only fleet path never touches them,
+    #: so the arrays materialise on first access.
+    _type_codes: Optional[np.ndarray] = None
+    _timestamps: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def type_codes(self) -> np.ndarray:
+        """Index of each event's type in :data:`EVENT_TYPE_ORDER` (int8)."""
+        codes = self._type_codes
+        if codes is None:
+            codes = self._type_codes = np.fromiter(
+                (_TYPE_CODE[event.event_type] for event in self.events),
+                dtype=np.int8,
+                count=len(self.events),
+            )
+        return codes
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Event timestamps in session seconds (float64)."""
+        timestamps = self._timestamps
+        if timestamps is None:
+            timestamps = self._timestamps = np.fromiter(
+                (event.timestamp for event in self.events),
+                dtype=np.float64,
+                count=len(self.events),
+            )
+        return timestamps
+
+
+def assemble_columnar(
+    game_name: str,
+    gestures: Sequence[Tuple[float, Event]],
+    duration_s: float,
+    seed: int = 0,
+) -> ColumnarSession:
+    """Columnar twin of :func:`assemble_events`.
+
+    ``gestures`` carries ``(timestamp, event)`` pairs so archetype tempo
+    compression needs no intermediate event copies; the events' value
+    dicts are adopted as-is (already quantised and schema-ordered).
+    Ordering, tie-breaking, and sequence numbering replicate the scalar
+    assembler exactly.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    pending: List[Tuple[float, str, EventType, Event]] = [
+        (timestamp, event.event_type.value, event.event_type, event)
+        for timestamp, event in gestures
+        if timestamp < duration_s
+    ]
+    uplink = sum(event.schema.nbytes for _, _, _, event in pending)
+    if EventType.FRAME_TICK in game_info(game_name).cls.handled_event_types:
+        tick_type = EventType.FRAME_TICK
+        tick_value = tick_type.value
+        count = int(duration_s * TICK_HZ)
+        for index in range(count):
+            pending.append((index / TICK_HZ, tick_value, tick_type, None))
+        uplink += count * _TICK_SCHEMA.nbytes
+    pending.sort(key=lambda item: (item[0], item[1]))
+    events: List[Event] = []
+    for sequence, (timestamp, _, event_type, source) in enumerate(pending, start=1):
+        if source is None:
+            # Frame ticks are synthesised arithmetically; the slot index
+            # recovers from the timestamp without a per-tick constructor.
+            slot = round(timestamp * TICK_HZ) % 4
+            events.append(
+                fast_event(_TICK_SCHEMA, _TICK_VALUES[slot], sequence, timestamp)
+            )
+        else:
+            events.append(
+                fast_event(source.schema, source.values, sequence, timestamp)
+            )
+    return ColumnarSession(
+        game_name=game_name,
+        seed=seed,
+        events=events,
+        uplink_bytes=uplink,
+    )
+
+
+def columnar_session(game_name: str, seed: int, duration_s: float) -> ColumnarSession:
+    """Columnar twin of :func:`generate_events` (one session stream)."""
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    rng = ReproRng(seed).fork(f"user:{game_name}")
+    gestures = behavior_for(game_name).gestures(rng, duration_s)
+    return assemble_columnar(
+        game_name,
+        [(event.timestamp, event) for event in gestures],
+        duration_s,
+        seed=seed,
+    )

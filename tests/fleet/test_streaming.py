@@ -95,7 +95,10 @@ def test_reversed_completion_with_tiny_buffer_spills_and_matches(
     )
     assert report.to_text() == reference.to_text()
     assert report.to_json() == reference.to_json()
-    assert telemetry.counters.peak_live_shards <= 1
+    # The gauge samples the buffer's post-insert high-water mark, so a
+    # cap of 1 peaks at 2 (the insert that triggers each spill) and can
+    # never read 0.
+    assert 1 <= telemetry.counters.peak_live_shards <= 2
 
 
 def test_streamed_report_matches_batch_reduction(
@@ -162,7 +165,9 @@ def test_engine_emits_live_shard_and_rss_gauges(small_spec, small_package):
     assert LIVE_SHARDS in kinds
     assert PEAK_RSS in kinds
     assert telemetry.counters.peak_rss_bytes > 0
-    assert telemetry.counters.peak_live_shards <= 8
+    # High-water gauging: every insert is sampled before the drain, so
+    # the peak is at least 1 and at most one past the buffer cap.
+    assert 1 <= telemetry.counters.peak_live_shards <= 9
 
 
 def test_bounded_history_keeps_counters_whole(small_spec, small_package):
