@@ -29,6 +29,7 @@ from repro.fleet.executors import FleetExecutor
 from repro.registry.metrics import metrics_from_epoch
 from repro.registry.promotion import PromotionPolicy
 from repro.registry.store import PackageRegistry
+from repro.service.shipping import ship_cycle
 
 
 @dataclass(frozen=True)
@@ -162,39 +163,30 @@ def _publish_cycles(
     packages: List[SnipPackage],
     policy: PromotionPolicy,
 ) -> List[CycleDecision]:
-    """Run every cycle's table through publish -> promote, in order."""
+    """Run every cycle's table through the service shipping pass.
+
+    Delegates to :func:`repro.service.shipping.ship_cycle` — the same
+    publish -> promote sequence the ``serve`` daemon's offline path
+    uses — so batch replays of the experiment and live service cycles
+    record identical verdicts for identical tables.
+    """
     decisions = []
     for result, package in zip(results, packages):
         metrics = metrics_from_epoch(
             package, result.hit_fraction, result.error_fraction
         )
-        entry, created = registry.publish(
-            game_name, config, package, metrics, source="fig12"
+        shipped = ship_cycle(
+            registry, game_name, config, package, metrics, policy,
+            source="fig12",
         )
-        if created:
-            verdict = registry.promote(
-                game_name, config, version=entry.version, policy=policy
+        decisions.append(
+            CycleDecision(
+                epoch=result.epoch,
+                version=shipped.version,
+                shipped=shipped.shipped,
+                reasons=shipped.reasons,
             )
-            decisions.append(
-                CycleDecision(
-                    epoch=result.epoch,
-                    version=entry.version,
-                    shipped=verdict.promoted,
-                    reasons=verdict.reasons,
-                )
-            )
-        else:
-            # Identical table to an earlier cycle: nothing new ships.
-            decisions.append(
-                CycleDecision(
-                    epoch=result.epoch,
-                    version=entry.version,
-                    shipped=False,
-                    reasons=(
-                        f"identical to registered version {entry.version}",
-                    ),
-                )
-            )
+        )
     return decisions
 
 

@@ -14,6 +14,9 @@ Exposes the library's main workflows without writing code:
   cohort of the fleet and acts on the comparison);
 * ``registry`` — the versioned SnipPackage registry
   (``list|show|publish|promote|rollback|gc``);
+* ``serve`` — the continuous profile -> train -> ship daemon
+  (crash-resumable cycle ledger, report-queue backpressure,
+  clean SIGTERM/SIGINT shutdown; see ``docs/SERVICE.md``);
 * ``cache`` — inspect or clear the on-disk package cache.
 """
 
@@ -182,6 +185,81 @@ def build_parser() -> argparse.ArgumentParser:
              "$REPRO_SNIP_REGISTRY_DIR or ~/.cache/repro-snip/registry)",
     )
     _add_cache_flag(fleet)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the continuous profile -> train -> ship daemon",
+    )
+    serve.add_argument("--game", choices=GAME_NAMES, required=True)
+    serve.add_argument(
+        "--run-dir", required=True, metavar="DIR",
+        help="service run directory (ledger, report queue, per-cycle "
+             "fleet checkpoints; resumable after a kill)",
+    )
+    serve.add_argument(
+        "--cycles", type=int, default=None, metavar="N",
+        help="stop once the ledger holds N complete cycles "
+             "(default: run until SIGTERM/SIGINT)",
+    )
+    serve.add_argument("--jobs", type=int, default=1)
+    serve.add_argument("--devices", type=int, default=8)
+    serve.add_argument("--sessions", type=int, default=1)
+    serve.add_argument("--duration", type=float, default=5.0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--shard-size", type=int, default=4)
+    serve.add_argument(
+        "--profile-seeds", type=_parse_seeds, default=[1],
+        help="base profiling corpus (adopted device seeds ride along)",
+    )
+    serve.add_argument("--profile-duration", type=float, default=8.0)
+    serve.add_argument(
+        "--max-profile-seeds", type=int, default=8,
+        help="cap on the profiling corpus (oldest adopted seeds drop)",
+    )
+    serve.add_argument(
+        "--seeds-per-cycle", type=int, default=1,
+        help="worst-missing devices adopted into the corpus per cycle",
+    )
+    serve.add_argument(
+        "--max-batches-per-cycle", type=int, default=4,
+        help="backpressure: report batches one ingest claims; a deeper "
+             "backlog is merged into later cycles",
+    )
+    serve.add_argument(
+        "--ungated-cycles", type=int, default=1,
+        help="early cycles promote with permissive floors (bootstrap)",
+    )
+    serve.add_argument(
+        "--challenger-fraction", type=float, default=0.0, metavar="F",
+        help="ship candidates via staged rollout on this fleet fraction "
+             "(0 uses offline gated promotion)",
+    )
+    serve.add_argument(
+        "--eval-duration", type=float, default=20.0,
+        help="held-out session length for candidate metrics",
+    )
+    serve.add_argument(
+        "--measure-energy", action="store_true",
+        help="measure candidate energy on the held-out session "
+             "(the expensive half of publish)",
+    )
+    serve.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="registry directory (default: <run-dir>/registry)",
+    )
+    serve.add_argument(
+        "--max-live-shards", type=int, default=None, metavar="N",
+        help="cap on shard results held in memory awaiting their fold turn",
+    )
+    serve.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout rendering: text summary or the canonical cycle "
+             "ledger as a single JSON document",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-cycle progress lines on stderr",
+    )
 
     cache = commands.add_parser(
         "cache", help="inspect or clear the on-disk package cache"
@@ -485,6 +563,82 @@ def _cmd_fleet(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.errors import ServiceError
+    from repro.fleet import TelemetryBus, make_executor
+    from repro.fleet.engine import DEFAULT_MAX_LIVE_SHARDS
+    from repro.registry import PackageRegistry
+    from repro.service import ServiceConfig, SnipService
+    from repro.service.daemon import service_progress_printer
+
+    config = ServiceConfig(
+        game_name=args.game,
+        devices=args.devices,
+        sessions_per_device=args.sessions,
+        session_duration_s=args.duration,
+        seed=args.seed,
+        shard_size=args.shard_size,
+        base_profile_seeds=tuple(args.profile_seeds),
+        profile_duration_s=args.profile_duration,
+        max_profile_seeds=args.max_profile_seeds,
+        seeds_per_cycle=args.seeds_per_cycle,
+        max_batches_per_cycle=args.max_batches_per_cycle,
+        ungated_cycles=args.ungated_cycles,
+        challenger_fraction=args.challenger_fraction,
+        measure_candidate_energy=args.measure_energy,
+        eval_duration_s=args.eval_duration,
+    )
+    telemetry = TelemetryBus()
+    if not args.quiet:
+        # Progress narrates on stderr only: --format json keeps stdout
+        # a single parseable document.
+        telemetry.subscribe(service_progress_printer(sys.stderr))
+    try:
+        service = SnipService(
+            config,
+            args.run_dir,
+            registry=PackageRegistry(args.registry) if args.registry else None,
+            executor=make_executor(args.jobs),
+            telemetry=telemetry,
+            max_live_shards=(
+                args.max_live_shards
+                if args.max_live_shards is not None
+                else DEFAULT_MAX_LIVE_SHARDS
+            ),
+        )
+        result = service.run(cycles=args.cycles)
+    except ServiceError as exc:
+        print(f"serve error: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        out.write(service.ledger.to_json())
+        return 0
+    print(
+        f"serve: {result.cycles_completed} cycles complete in "
+        f"{result.run_dir}"
+        + (" (stopped by signal; resumable)" if result.stopped else ""),
+        file=out,
+    )
+    for index in range(service.ledger.cycle_count):
+        ship = service.ledger.stage(index, "ship")
+        if ship is None:
+            print(f"  cycle {index}: in flight (resumable)", file=out)
+            continue
+        champion = (
+            f"champion v{ship['champion_version_after']}"
+            if ship["champion_version_after"] is not None
+            else "no champion"
+        )
+        print(
+            f"  cycle {index}: {ship['mode']} | "
+            f"{'promoted' if ship['promoted'] else 'kept'} -> {champion} | "
+            f"{ship['devices']} devices, {ship['misses']} misses, "
+            f"savings {ship['savings']:.2%}",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_lint(args, out) -> int:
     import os
 
@@ -726,6 +880,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "fleet": lambda: _cmd_fleet(args, out),
         "cache": lambda: _cmd_cache(args, out),
         "registry": lambda: _cmd_registry(args, out),
+        "serve": lambda: _cmd_serve(args, out),
         "lint": lambda: _cmd_lint(args, out),
     }
     return handlers[args.command]()

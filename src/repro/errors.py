@@ -119,3 +119,7 @@ class WorkerCrashError(FleetError):
 
 class CheckpointError(FleetError):
     """A fleet checkpoint directory is missing, corrupt, or mismatched."""
+
+
+class ServiceError(ReproError):
+    """The continuous-serving daemon hit an invalid state or run dir."""

@@ -41,8 +41,11 @@ class CheckpointStore:
         self.shard_dir = self.run_dir / SHARD_DIR
         #: Corrupt/truncated shard files evicted by
         #: :meth:`load_resumable` (mirrors the package cache's
-        #: ``corrupt_evictions`` accounting).
-        self.corrupt_evictions = 0
+        #: ``corrupt_evictions`` accounting). The running total is
+        #: persisted in the manifest, so a run that is killed and
+        #: resumed keeps counting instead of resetting to 0 on every
+        #: new store instance.
+        self.corrupt_evictions = self._persisted_evictions()
 
     # -- manifest ----------------------------------------------------------
 
@@ -57,27 +60,43 @@ class CheckpointStore:
         A pre-existing directory must carry a manifest for the same
         spec and shard layout; anything else raises
         :class:`CheckpointError` rather than corrupting the sweep.
+
+        Creation is race-safe: when two starters hit the same fresh run
+        directory concurrently, exactly one publishes the manifest (via
+        an ``O_EXCL`` temp file linked into place); the loser surfaces
+        as :class:`CheckpointError` instead of silently clobbering the
+        winner's manifest.
         """
         self.shard_dir.mkdir(parents=True, exist_ok=True)
-        if self.manifest_path.exists():
-            manifest = self._read_manifest()
-            if manifest.get("layout_fingerprint") != spec.layout_fingerprint():
-                raise CheckpointError(
-                    f"checkpoint at {self.run_dir} belongs to a different "
-                    f"fleet spec or shard layout; use a fresh --checkpoint "
-                    f"directory or rerun with the original parameters"
+        if not self.manifest_path.exists():
+            manifest = {
+                "corrupt_evictions": self.corrupt_evictions,
+                "format_version": FLEET_FORMAT_VERSION,
+                "fingerprint": spec.fingerprint(),
+                "layout_fingerprint": spec.layout_fingerprint(),
+                "shard_count": spec.shard_count,
+                "spec": dataclasses.asdict(spec),
+            }
+            try:
+                self._exclusive_write(
+                    self.manifest_path,
+                    json.dumps(manifest, indent=2, sort_keys=True).encode(),
                 )
-            return
-        manifest = {
-            "format_version": FLEET_FORMAT_VERSION,
-            "fingerprint": spec.fingerprint(),
-            "layout_fingerprint": spec.layout_fingerprint(),
-            "shard_count": spec.shard_count,
-            "spec": dataclasses.asdict(spec),
-        }
-        self._atomic_write(
-            self.manifest_path, json.dumps(manifest, indent=2, sort_keys=True).encode()
-        )
+                return
+            except FileExistsError as exc:
+                raise CheckpointError(
+                    f"lost initialisation race for checkpoint at "
+                    f"{self.run_dir}: another process published "
+                    f"{MANIFEST_NAME} concurrently"
+                ) from exc
+        manifest = self._read_manifest()
+        if manifest.get("layout_fingerprint") != spec.layout_fingerprint():
+            raise CheckpointError(
+                f"checkpoint at {self.run_dir} belongs to a different "
+                f"fleet spec or shard layout; use a fresh --checkpoint "
+                f"directory or rerun with the original parameters"
+            )
+        self.corrupt_evictions = int(manifest.get("corrupt_evictions", 0))
 
     def _read_manifest(self) -> Dict:
         try:
@@ -147,6 +166,7 @@ class CheckpointStore:
         except CheckpointError:
             self.discard(index)
             self.corrupt_evictions += 1
+            self._persist_evictions()
             return None
 
     def resumable_indices(self) -> List[int]:
@@ -169,6 +189,34 @@ class CheckpointStore:
         except OSError:
             pass
 
+    # -- eviction accounting -----------------------------------------------
+
+    def _persisted_evictions(self) -> int:
+        """Running eviction total recorded in the manifest, if any."""
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+            return int(manifest.get("corrupt_evictions", 0))
+        except (OSError, ValueError, TypeError):
+            return 0
+
+    def _persist_evictions(self) -> None:
+        """Record the running eviction total in the manifest.
+
+        Best-effort: stores without a (readable) manifest — e.g. the
+        engine's anonymous spill directories — keep the in-memory
+        counter only.
+        """
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(manifest, dict):
+            return
+        manifest["corrupt_evictions"] = self.corrupt_evictions
+        self._atomic_write(
+            self.manifest_path, json.dumps(manifest, indent=2, sort_keys=True).encode()
+        )
+
     # -- plumbing ----------------------------------------------------------
 
     @staticmethod
@@ -176,3 +224,23 @@ class CheckpointStore:
         tmp = path.with_suffix(path.suffix + ".tmp")
         tmp.write_bytes(data)
         os.replace(tmp, path)
+
+    @staticmethod
+    def _exclusive_write(path: Path, data: bytes) -> None:
+        """Publish ``path`` exactly once across concurrent writers.
+
+        The payload is staged under an ``O_EXCL`` temp name and linked
+        into place; :class:`FileExistsError` propagates to whichever
+        writer loses the race (a plain rename would silently clobber).
+        """
+        tmp = path.with_suffix(path.suffix + f".create.{os.getpid()}.tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.link(tmp, path)
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -28,7 +28,7 @@ import tempfile
 from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Set, Union
+from typing import Callable, Dict, Optional, Sequence, Set, Union
 
 from repro.core.config import SnipConfig
 from repro.core.package_cache import PackageCache
@@ -269,6 +269,7 @@ class FleetEngine:
         package: Optional[SnipPackage] = None,
         challenger: Optional[SnipPackage] = None,
         max_live_shards: int = DEFAULT_MAX_LIVE_SHARDS,
+        shard_observer: Optional[Callable[[ShardResult], None]] = None,
     ) -> None:
         """``package``/``challenger`` inject pre-built artifacts.
 
@@ -279,7 +280,10 @@ class FleetEngine:
         requires a ``challenger``. ``max_live_shards`` caps the shard
         results the reducer holds awaiting their fold turn; overflow
         spills to the checkpoint store (already persisted) or a
-        temporary directory.
+        temporary directory. ``shard_observer`` is called with each
+        shard result in strict shard-index order (the fold order), so
+        consumers see a deterministic stream regardless of executor or
+        completion order.
         """
         self.spec = spec
         self.executor = executor or SerialExecutor()
@@ -297,6 +301,7 @@ class FleetEngine:
                 f"max_live_shards must be positive, got {max_live_shards}"
             )
         self.max_live_shards = max_live_shards
+        self.shard_observer = shard_observer
         if spec.challenger_fraction > 0 and challenger is None:
             raise FleetError(
                 "spec deals devices into a challenger cohort "
@@ -340,9 +345,10 @@ class FleetEngine:
         corrupt = 0
         if self.checkpoint is not None:
             self.checkpoint.initialise(spec)
-            before = self.checkpoint.corrupt_evictions
             on_disk.update(self.checkpoint.resumable_indices())
-            corrupt = self.checkpoint.corrupt_evictions - before
+            # Running total persisted in the manifest: a resumed run
+            # reports evictions from every attempt, not just this one.
+            corrupt = self.checkpoint.corrupt_evictions
         remaining = [
             index for index in range(spec.shard_count) if index not in on_disk
         ]
@@ -424,12 +430,15 @@ class FleetEngine:
         while not fold.complete:
             index = fold.next_index
             if index in buffer:
-                fold.fold(buffer.pop(index))
+                result = buffer.pop(index)
             elif index in on_disk:
-                fold.fold(self._fetch(index))
+                result = self._fetch(index)
                 on_disk.discard(index)
             else:
                 return
+            if self.shard_observer is not None:
+                self.shard_observer(result)
+            fold.fold(result)
 
     def _enforce_buffer_cap(
         self, buffer: Dict[int, ShardResult], on_disk: Set[int]

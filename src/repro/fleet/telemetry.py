@@ -31,6 +31,15 @@ RUN_FINISHED = "run_finished"
 QUEUE_DEPTH = "queue_depth"
 LIVE_SHARDS = "live_shards"
 PEAK_RSS = "peak_rss_bytes"
+#: Service-loop lifecycle events (see :mod:`repro.service.daemon`).
+CYCLE_STARTED = "cycle_started"
+STAGE_FINISHED = "stage_finished"
+CYCLE_FINISHED = "cycle_finished"
+
+#: Below this elapsed wall time the throughput rate is meaningless:
+#: dividing a nonzero event count by a few nanoseconds of clock skew
+#: reports absurd rates on the first snapshot of a run or cycle.
+MIN_RATE_ELAPSED_S = 1e-6
 
 
 @dataclass(frozen=True)
@@ -146,9 +155,14 @@ class TelemetryBus:
         return self._clock() - self._start
 
     def events_per_second(self) -> float:
-        """Fleet-wide simulated-event throughput so far."""
+        """Fleet-wide simulated-event throughput so far.
+
+        Returns 0.0 (rather than a division error or a nonsense
+        rate) until at least :data:`MIN_RATE_ELAPSED_S` of wall time
+        has elapsed.
+        """
         elapsed = self.elapsed_seconds()
-        if elapsed <= 0:
+        if elapsed < MIN_RATE_ELAPSED_S:
             return 0.0
         return self.counters.events_processed / elapsed
 

@@ -262,6 +262,15 @@ class LintConfig:
         "repro/fleet/engine.py::FleetReport.to_dict",
         "repro/fleet/engine.py::FleetReport.to_json",
         "repro/registry/records.py::RegistryState.to_dict",
+        # The serve daemon's persisted artifacts: the cycle ledger and
+        # the report-queue batches are resume/replay surfaces, so any
+        # wall-clock (or other nondeterminism) reaching their
+        # serialisers breaks the byte-identical-resume contract.
+        "repro/service/ledger.py::CycleLedger.to_dict",
+        "repro/service/ledger.py::CycleLedger.to_json",
+        "repro/service/ledger.py::CycleLedger.record_stage",
+        "repro/service/reports.py::ReportBatch.to_dict",
+        "repro/service/reports.py::DeviceReport.to_dict",
     )
     #: Classes whose constructed instances cross the process boundary;
     #: any function instantiating one is a taint sink.

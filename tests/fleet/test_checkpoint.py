@@ -86,6 +86,125 @@ def test_stray_checkpoint_files_are_loud(tmp_path, small_spec):
         store.completed_indices()
 
 
+def test_initialise_race_loser_is_loud(tmp_path, small_spec, monkeypatch):
+    """The create/validate race: both stores see no manifest, one wins.
+
+    Reproduced deterministically by publishing the winner's manifest in
+    the window between the loser's existence check and its write — the
+    loser must surface as :class:`CheckpointError`, not clobber the
+    winner (the old plain-rename write did exactly that, silently).
+    """
+    loser = CheckpointStore(tmp_path / "run")
+    winner = CheckpointStore(tmp_path / "run")
+    original = CheckpointStore._exclusive_write
+
+    def write_after_winner(path, data):
+        monkeypatch.undo()  # the winner publishes unimpeded
+        winner.initialise(small_spec)
+        original(path, data)
+
+    monkeypatch.setattr(
+        CheckpointStore, "_exclusive_write", staticmethod(write_after_winner)
+    )
+    with pytest.raises(CheckpointError, match="lost initialisation race"):
+        loser.initialise(small_spec)
+    # The winner's manifest survived intact and still validates.
+    CheckpointStore(tmp_path / "run").initialise(small_spec)
+    assert not list((tmp_path / "run").glob("*.tmp"))
+
+
+def test_concurrent_initialise_publishes_exactly_one_manifest(
+    tmp_path, small_spec
+):
+    import threading
+
+    run_dir = tmp_path / "run"
+    stores = [CheckpointStore(run_dir) for _ in range(8)]
+    barrier = threading.Barrier(len(stores))
+    outcomes = [None] * len(stores)
+
+    def start(slot, store):
+        barrier.wait()
+        try:
+            store.initialise(small_spec)
+            outcomes[slot] = "ok"
+        except CheckpointError:
+            outcomes[slot] = "lost"
+
+    threads = [
+        threading.Thread(target=start, args=(slot, store))
+        for slot, store in enumerate(stores)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # Losers are allowed (and loud), silent corruption is not: however
+    # the race resolved, the surviving manifest validates the spec.
+    assert all(outcome in ("ok", "lost") for outcome in outcomes)
+    assert "ok" in outcomes
+    CheckpointStore(run_dir).initialise(small_spec)
+    assert not list(run_dir.glob("*.tmp"))
+
+
+def _persist_one_shard(store, spec, package, index=0):
+    from repro.core.config import SnipConfig
+    from repro.fleet.work import ShardTask
+
+    store.save(
+        run_shard(
+            ShardTask(
+                shard_index=index,
+                spec=spec,
+                device_ids=spec.shard_at(index).device_ids,
+                selection=package.selection,
+                table=package.table,
+                config=SnipConfig(),
+            )
+        )
+    )
+
+
+def test_corrupt_evictions_survive_store_restarts(
+    tmp_path, small_spec, small_package
+):
+    """The eviction total is a per-run-dir counter, not per-instance.
+
+    Regression: the counter used to live only on the store object, so
+    every resume started back at 0 and the operator-facing telemetry
+    undercounted corruption.
+    """
+    store = CheckpointStore(tmp_path / "run")
+    store.initialise(small_spec)
+    _persist_one_shard(store, small_spec, small_package)
+    store.shard_path(0).write_bytes(b"truncated garbage")
+    assert store.resumable_indices() == []
+    assert store.corrupt_evictions == 1
+
+    reopened = CheckpointStore(tmp_path / "run")
+    assert reopened.corrupt_evictions == 1  # before initialise, even
+    reopened.initialise(small_spec)
+    assert reopened.corrupt_evictions == 1
+
+    # A second eviction in the new instance keeps accumulating.
+    _persist_one_shard(reopened, small_spec, small_package)
+    reopened.shard_path(0).write_bytes(b"more garbage")
+    assert reopened.resumable_indices() == []
+    assert reopened.corrupt_evictions == 2
+    assert CheckpointStore(tmp_path / "run").corrupt_evictions == 2
+
+
+def test_manifestless_store_counts_evictions_in_memory_only(tmp_path):
+    # The engine's anonymous spill dirs have no manifest; eviction
+    # accounting must not invent one.
+    store = CheckpointStore(tmp_path / "spill")
+    store.shard_dir.mkdir(parents=True)
+    store.shard_path(0).write_bytes(b"junk")
+    assert store.load_resumable(0) is None
+    assert store.corrupt_evictions == 1
+    assert not store.manifest_path.exists()
+
+
 def test_interrupted_run_resumes_to_identical_report(tmp_path, small_spec):
     run_dir = tmp_path / "run"
     reference = FleetEngine(small_spec).run().to_text()

@@ -101,6 +101,47 @@ def test_reversed_completion_with_tiny_buffer_spills_and_matches(
     assert 1 <= telemetry.counters.peak_live_shards <= 2
 
 
+def test_shard_observer_sees_every_shard_in_fold_order(
+    small_spec, small_package, reference
+):
+    # The observer hangs off the fold site, so even reverse completion
+    # (every shard through the reorder buffer) yields index order —
+    # this is what hands the serve daemon a deterministic report
+    # stream.
+    seen = []
+    report = _run(
+        small_spec,
+        small_package,
+        executor=ReversingExecutor(),
+        shard_observer=lambda shard: seen.append(shard.shard_index),
+    )
+    assert seen == list(range(small_spec.shard_count))
+    assert report.to_json() == reference.to_json()
+
+
+def test_shard_observer_covers_resumed_shards(
+    tmp_path, small_spec, small_package
+):
+    run_dir = tmp_path / "run"
+    with pytest.raises(KeyboardInterrupt):
+        _run(
+            small_spec,
+            small_package,
+            executor=InterruptingExecutor(limit=2),
+            checkpoint=run_dir,
+        )
+    # Resume replays the checkpointed shards through the same fold
+    # path, so the observer still sees the complete, ordered stream.
+    seen = []
+    _run(
+        small_spec,
+        small_package,
+        checkpoint=run_dir,
+        shard_observer=lambda shard: seen.append(shard.shard_index),
+    )
+    assert seen == list(range(small_spec.shard_count))
+
+
 def test_streamed_report_matches_batch_reduction(
     small_shards, small_spec, reference
 ):

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import io
 
+import pytest
+
 from repro.fleet.telemetry import (
     LIVE_SHARDS,
     PEAK_RSS,
@@ -52,6 +54,21 @@ def test_events_per_second_uses_injected_clock():
     snapshot = bus.snapshot()
     assert snapshot["events_processed"] == 200
     assert snapshot["events_per_second"] == 50.0
+
+
+def test_events_per_second_is_zero_at_zero_elapsed():
+    """Regression: ~0 elapsed used to yield astronomically large (or
+    ZeroDivisionError-adjacent) rates when snapshotting right after
+    construction; the rate now clamps to 0.0 below the floor."""
+    clock = FakeClock()
+    bus = TelemetryBus(clock=clock)
+    bus.emit(SHARD_FINISHED, shard_index=0, events=10_000)
+    assert bus.events_per_second() == 0.0
+    assert bus.snapshot()["events_per_second"] == 0.0
+    clock.now += 1e-9  # still inside the floor
+    assert bus.events_per_second() == 0.0
+    clock.now += 0.5
+    assert bus.events_per_second() == pytest.approx(10_000 / 0.5000000010)
 
 
 def test_subscribers_see_every_event_and_history_records_them():

@@ -1,0 +1,87 @@
+"""Report queue: atomic batches, idempotent replay, loud corruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.reports import DeviceReport, ReportBatch, ReportQueue
+
+
+def report(device_id: int, misses: int = 0) -> DeviceReport:
+    return DeviceReport(
+        device_id=device_id,
+        archetype="flagship",
+        cohort="champion",
+        sessions=1,
+        events=100,
+        hits=100 - misses,
+        misses=misses,
+    )
+
+
+def test_device_report_roundtrip():
+    original = report(3, misses=7)
+    assert DeviceReport.from_dict(original.to_dict()) == original
+    with pytest.raises(ServiceError, match="malformed device report"):
+        DeviceReport.from_dict({"device_id": 1})
+
+
+def test_batch_roundtrip_and_format_gate():
+    batch = ReportBatch(
+        sequence=4, producer_cycle=4, reports=(report(0), report(1, 2))
+    )
+    assert ReportBatch.from_dict(batch.to_dict()) == batch
+    bad = batch.to_dict()
+    bad["format_version"] = 99
+    with pytest.raises(ServiceError, match="unsupported report-batch format"):
+        ReportBatch.from_dict(bad)
+
+
+def test_enqueue_load_ack_lifecycle(tmp_path):
+    queue = ReportQueue(tmp_path / "queue")
+    queue.enqueue([report(0, 5)], producer_cycle=0, sequence=0)
+    queue.enqueue([report(1)], producer_cycle=1, sequence=1)
+    assert queue.pending() == [0, 1]
+    assert queue.depth() == 2
+    loaded = queue.load(0)
+    assert loaded.producer_cycle == 0
+    assert loaded.reports[0].misses == 5
+    queue.ack(0)
+    assert queue.pending() == [1]
+    queue.ack(0)  # already gone: no-op, resume re-acks freely
+    assert queue.pending() == [1]
+
+
+def test_replayed_enqueue_overwrites_with_identical_bytes(tmp_path):
+    queue = ReportQueue(tmp_path / "queue")
+    queue.enqueue([report(0, 5)], producer_cycle=2, sequence=2)
+    first = queue.path(2).read_bytes()
+    # A crash-replayed ship stage re-enqueues the same sequence; the
+    # producer owns the number, so this is an overwrite, not a dup.
+    queue.enqueue([report(0, 5)], producer_cycle=2, sequence=2)
+    assert queue.path(2).read_bytes() == first
+    assert queue.pending() == [2]
+
+
+def test_pending_sorts_and_rejects_stray_files(tmp_path):
+    queue = ReportQueue(tmp_path / "queue")
+    queue.enqueue([], producer_cycle=10, sequence=10)
+    queue.enqueue([], producer_cycle=2, sequence=2)
+    assert queue.pending() == [2, 10]
+    (queue.root / "batch_oops.json").write_text("{}")
+    with pytest.raises(ServiceError, match="stray file"):
+        queue.pending()
+
+
+def test_load_rejects_sequence_mismatch_and_torn_files(tmp_path):
+    queue = ReportQueue(tmp_path / "queue")
+    batch = queue.enqueue([report(0)], producer_cycle=0, sequence=0)
+    # A batch file renamed to the wrong slot must not be trusted.
+    queue.path(7).write_bytes(queue.path(0).read_bytes())
+    with pytest.raises(ServiceError, match="carries sequence 0"):
+        queue.load(7)
+    assert batch.sequence == 0
+    queue.path(0).write_text("{ torn")
+    with pytest.raises(ServiceError, match="unreadable report batch"):
+        queue.load(0)

@@ -1,6 +1,11 @@
 """Tests for the command-line interface."""
 
 import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -11,6 +16,20 @@ def run_cli(*argv):
     out = io.StringIO()
     code = main(list(argv), out=out)
     return code, out.getvalue()
+
+
+def run_cli_subprocess(*argv):
+    """The CLI in a real process, with stdout and stderr kept apart."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    return completed.returncode, completed.stdout, completed.stderr
 
 
 class TestParser:
@@ -164,6 +183,77 @@ class TestRegistryCommands:
         )
         assert code == 0
         assert "reclaimed" in text
+
+
+class TestJsonOutputPurity:
+    """``--format json`` must leave stdout a single parseable document.
+
+    Progress and telemetry narrate on stderr only; the regression these
+    tests pin is human-facing chatter leaking into machine-facing
+    output and breaking ``repro-snip ... | jq``.
+    """
+
+    def test_fleet_json_stdout_is_pure_with_progress_enabled(self):
+        code, stdout, stderr = run_cli_subprocess(
+            "fleet", "--game", "colorphun", "--devices", "2",
+            "--sessions", "1", "--duration", "2", "--shard-size", "1",
+            "--profile-duration", "4", "--no-federate",
+            "--no-cache", "--format", "json", "--progress",
+        )
+        assert code == 0, stderr
+        payload = json.loads(stdout)
+        assert payload["totals"]["devices"] == 2
+        assert "run started" in stderr  # progress went to stderr
+
+    def test_registry_list_json_stdout_is_pure(self, tmp_path):
+        code, stdout, stderr = run_cli_subprocess(
+            "registry", "list", "--dir", str(tmp_path), "--format", "json"
+        )
+        assert code == 0, stderr
+        assert json.loads(stdout) == []
+
+    def test_serve_json_stdout_is_pure_with_telemetry_enabled(self, tmp_path):
+        code, stdout, stderr = run_cli_subprocess(
+            "serve", "--game", "colorphun", "--cycles", "2",
+            "--run-dir", str(tmp_path / "run"),
+            "--devices", "4", "--duration", "2", "--shard-size", "2",
+            "--profile-duration", "3", "--eval-duration", "3",
+            "--format", "json",
+        )
+        assert code == 0, stderr
+        document = json.loads(stdout)
+        assert sum(1 for cycle in document["cycles"] if cycle["complete"]) == 2
+        # The default (non --quiet) serve narrates cycles on stderr.
+        assert "cycle 0 started" in stderr
+        assert "cycle 1 finished" in stderr
+
+
+class TestServeCommand:
+    def test_serve_text_summarises_cycles(self, tmp_path):
+        code, stdout, stderr = run_cli_subprocess(
+            "serve", "--game", "colorphun", "--cycles", "1", "--quiet",
+            "--run-dir", str(tmp_path / "run"),
+            "--devices", "4", "--duration", "2", "--shard-size", "2",
+            "--profile-duration", "3", "--eval-duration", "3",
+        )
+        assert code == 0, stderr
+        assert "serve: 1 cycles complete" in stdout
+        assert "cycle 0: offline | promoted -> champion v1" in stdout
+        assert stderr == ""  # --quiet silences the narration
+
+    def test_serve_rejects_mismatched_run_dir(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        args = [
+            "serve", "--game", "colorphun", "--cycles", "1", "--quiet",
+            "--run-dir", run_dir, "--devices", "4", "--duration", "2",
+            "--shard-size", "2", "--profile-duration", "3",
+            "--eval-duration", "3",
+        ]
+        code, _, stderr = run_cli_subprocess(*args)
+        assert code == 0, stderr
+        code, _, stderr = run_cli_subprocess(*args, "--seed", "5")
+        assert code == 1
+        assert "different service config" in stderr
 
 
 class TestExtensionCommands:
